@@ -1,0 +1,51 @@
+# PAC reproduction — common developer targets. Stdlib-only Go; no
+# external dependencies.
+
+GO ?= go
+
+.PHONY: all build test test-short vet fmt bench figures figures-quick \
+        examples fuzz clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# One testing.B bench per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artefact at full Table 1 scale.
+figures:
+	$(GO) run ./cmd/pacsim -experiment all
+
+figures-quick:
+	$(GO) run ./cmd/pacsim -experiment all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hbmport
+	$(GO) run ./examples/graphanalytics
+	$(GO) run ./examples/multiprocess
+	$(GO) run ./examples/prefetchdemo
+
+# Short fuzzing passes over the binary-format parser and the coalescing
+# pipeline.
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzRead -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzPipeline -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

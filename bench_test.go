@@ -1,0 +1,351 @@
+package pac
+
+// The benchmark harness: one testing.B benchmark per paper table/figure
+// (DESIGN.md §4) plus ablation benches for the design choices called out
+// there. Each figure bench executes its experiment end-to-end at a
+// reduced scale and reports the headline metric alongside wall time, so
+//
+//	go test -bench=BenchmarkFig -benchmem
+//
+// regenerates (small-scale) every artefact. Full-scale runs go through
+// `pacsim -experiment all`.
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/pacsim/pac/internal/cache"
+	"github.com/pacsim/pac/internal/core"
+	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/hmc"
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/sortnet"
+)
+
+// benchOptions is the reduced scale used by the figure benches.
+func benchOptions() ExperimentOptions {
+	return ExperimentOptions{
+		Cores:           2,
+		AccessesPerCore: 4_000,
+		Scale:           0.02,
+		Seed:            7,
+		L1Bytes:         2 << 10,
+		LLCBytes:        128 << 10,
+	}
+}
+
+// runFigure executes one experiment per iteration and reports the metric
+// found in the AVERAGE row's given column (when avgCol >= 0).
+func runFigure(b *testing.B, id string, avgCol int) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOptions())
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		tables, err := e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if avgCol >= 0 {
+			t := tables[0]
+			row := t.Rows() - 1
+			v, err := strconv.ParseFloat(t.Cell(row, avgCol), 64)
+			if err == nil {
+				last = v
+			}
+		}
+	}
+	if avgCol >= 0 {
+		b.ReportMetric(last, "avg_metric")
+	}
+}
+
+func BenchmarkFig1CoalescedRatio(b *testing.B)          { runFigure(b, "fig1", 1) }
+func BenchmarkFig2CrossPage(b *testing.B)               { runFigure(b, "fig2", -1) }
+func BenchmarkFig6aCoalescingEfficiency(b *testing.B)   { runFigure(b, "fig6a", 1) }
+func BenchmarkFig6bMultiprocessing(b *testing.B)        { runFigure(b, "fig6b", 3) }
+func BenchmarkFig6cBankConflicts(b *testing.B)          { runFigure(b, "fig6c", 3) }
+func BenchmarkFig7ComparisonReductions(b *testing.B)    { runFigure(b, "fig7", 3) }
+func BenchmarkFig8BFSClusters(b *testing.B)             { runFigure(b, "fig8", -1) }
+func BenchmarkFig9SparseLUClusters(b *testing.B)        { runFigure(b, "fig9", -1) }
+func BenchmarkFig10aTransactionEfficiency(b *testing.B) { runFigure(b, "fig10a", 2) }
+func BenchmarkFig10bRequestSizes(b *testing.B)          { runFigure(b, "fig10b", -1) }
+func BenchmarkFig10cBandwidthSavings(b *testing.B)      { runFigure(b, "fig10c", 3) }
+func BenchmarkFig11aSpaceOverhead(b *testing.B)         { runFigure(b, "fig11a", -1) }
+func BenchmarkFig11bStreamOccupancy(b *testing.B)       { runFigure(b, "fig11b", -1) }
+func BenchmarkFig11cStreamUtilisation(b *testing.B)     { runFigure(b, "fig11c", 1) }
+func BenchmarkFig12aStageLatency(b *testing.B)          { runFigure(b, "fig12a", 3) }
+func BenchmarkFig12bMAQFill(b *testing.B)               { runFigure(b, "fig12b", 2) }
+func BenchmarkFig12cBypass(b *testing.B)                { runFigure(b, "fig12c", 3) }
+func BenchmarkFig13PowerByOp(b *testing.B)              { runFigure(b, "fig13", -1) }
+func BenchmarkFig14OverallPower(b *testing.B)           { runFigure(b, "fig14", 1) }
+func BenchmarkFig15Performance(b *testing.B)            { runFigure(b, "fig15", 2) }
+func BenchmarkTab1Configuration(b *testing.B)           { runFigure(b, "tab1", -1) }
+
+// --- Component micro-benchmarks -------------------------------------
+
+// BenchmarkCoalescerThroughput measures raw requests per second through
+// the standalone coalescing network under a dense adjacent stream.
+func BenchmarkCoalescerThroughput(b *testing.B) {
+	c := NewCoalescer(DefaultCoalescerParams())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Request{
+			ID:   uint64(i + 1),
+			Addr: uint64(i%1024) * 64,
+			Size: 64,
+			Op:   OpLoad,
+		}
+		for !c.Offer(r, false) {
+			c.Tick()
+			for {
+				if _, ok := c.Pop(); !ok {
+					break
+				}
+			}
+		}
+		c.Tick()
+		for {
+			if _, ok := c.Pop(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorCycleRate measures full-machine simulation speed in
+// CPU accesses per second.
+func BenchmarkSimulatorCycleRate(b *testing.B) {
+	cfg := DefaultSimConfig("GS", ModePAC)
+	cfg.Procs = []ProcSpec{{Benchmark: "GS", Cores: 2}}
+	cfg.Scale = 0.02
+	cfg.AccessesPerCore = 2_000
+	cfg.Hierarchy = cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.Config{Size: 2 << 10, Ways: 8},
+		LLC:   cache.Config{Size: 128 << 10, Ways: 8},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBenchmark(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSortingNetworks contrasts the functional comparison networks
+// of the Figure 11a baseline.
+func BenchmarkSortingNetworks(b *testing.B) {
+	for _, mk := range []struct {
+		name string
+		new  func() *sortnet.Network
+	}{{"bitonic", sortnet.NewBitonic}, {"oddeven", sortnet.NewOddEven}} {
+		b.Run(mk.name, func(b *testing.B) {
+			v := make([]uint64, 64)
+			net := mk.new()
+			for i := 0; i < b.N; i++ {
+				for j := range v {
+					v[j] = uint64((i + j) * 2654435761)
+				}
+				net.Sort(v)
+			}
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---------------------------------
+
+// ablationRun executes one small PAC simulation with a mutated config and
+// reports system coalescing efficiency.
+func ablationRun(b *testing.B, mutate func(*sim.Config)) {
+	b.Helper()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig("GS", ModePAC)
+		cfg.Procs = []sim.ProcSpec{{Benchmark: "GS", Cores: 2}}
+		cfg.Scale = 0.02
+		cfg.AccessesPerCore = 4_000
+		cfg.Hierarchy = cache.HierarchyConfig{
+			Cores: 2,
+			L1:    cache.Config{Size: 2 << 10, Ways: 8},
+			LLC:   cache.Config{Size: 128 << 10, Ways: 8},
+		}
+		mutate(&cfg)
+		res, err := RunBenchmark(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = res.CoalescingEfficiency()
+	}
+	b.ReportMetric(eff, "efficiency_%")
+}
+
+// BenchmarkAblationStreams sweeps the coalescing stream count (space vs
+// efficiency trade-off behind Figure 11).
+func BenchmarkAblationStreams(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			ablationRun(b, func(cfg *sim.Config) { cfg.PAC.Streams = n })
+		})
+	}
+}
+
+// BenchmarkAblationTimeout sweeps the aggregation timeout (latency vs
+// efficiency, paper §5.3.4).
+func BenchmarkAblationTimeout(b *testing.B) {
+	for _, cyc := range []int64{4, 8, 16, 32, 64} {
+		b.Run(strconv.FormatInt(cyc, 10), func(b *testing.B) {
+			ablationRun(b, func(cfg *sim.Config) { cfg.PAC.Timeout = cyc })
+		})
+	}
+}
+
+// BenchmarkAblationPadRuns contrasts run-splitting with span-padding in
+// the request assembler.
+func BenchmarkAblationPadRuns(b *testing.B) {
+	for _, pad := range []bool{false, true} {
+		name := "split"
+		if pad {
+			name = "pad"
+		}
+		b.Run(name, func(b *testing.B) {
+			ablationRun(b, func(cfg *sim.Config) { cfg.PAC.PadRuns = pad })
+		})
+	}
+}
+
+// BenchmarkAblationDevice contrasts the HMC 1.0 / HMC 2.1 / HBM device
+// profiles (paper §4.1); selecting the HBM coalescing target switches the
+// device model to matching 1KB rows.
+func BenchmarkAblationDevice(b *testing.B) {
+	for _, dev := range []core.DeviceProfile{core.HMC10, core.HMC21, core.HBM} {
+		b.Run(dev.Name, func(b *testing.B) {
+			ablationRun(b, func(cfg *sim.Config) { cfg.PAC.Device = dev })
+		})
+	}
+}
+
+// BenchmarkAblationMAQDepth sweeps the MAQ depth relative to the MSHR
+// count.
+func BenchmarkAblationMAQDepth(b *testing.B) {
+	for _, d := range []int{4, 8, 16, 32} {
+		b.Run(strconv.Itoa(d), func(b *testing.B) {
+			ablationRun(b, func(cfg *sim.Config) { cfg.PAC.MAQDepth = d })
+		})
+	}
+}
+
+// BenchmarkAblationNetworkCtrl measures the network-controller bypass
+// optimisation on a sparse workload (BFS), where it matters most.
+func BenchmarkAblationNetworkCtrl(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "enabled"
+		if disabled {
+			name = "disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig("BFS", ModePAC)
+				cfg.Procs = []sim.ProcSpec{{Benchmark: "BFS", Cores: 2}}
+				cfg.Scale = 0.02
+				cfg.AccessesPerCore = 4_000
+				cfg.Hierarchy = cache.HierarchyConfig{
+					Cores: 2,
+					L1:    cache.Config{Size: 2 << 10, Ways: 8},
+					LLC:   cache.Config{Size: 128 << 10, Ways: 8},
+				}
+				cfg.DisableNetworkCtrl = disabled
+				res, err := RunBenchmark(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAddressDecode measures the hot address-math helpers.
+func BenchmarkAddressDecode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		a := uint64(i) * 73
+		sink += mem.PPN(a) + uint64(mem.BlockID(a)) + mem.BlockNumber(a)
+	}
+	_ = sink
+}
+
+// BenchmarkAblationPagePolicy contrasts HMC's closed-page policy with a
+// DDR-style open-page policy on the full machine, demonstrating the
+// paper's §2.2.2 argument that narrow 256B rows make open-page row-buffer
+// harvesting ineffective for 3D-stacked memory.
+func BenchmarkAblationPagePolicy(b *testing.B) {
+	for _, policy := range []hmc.PagePolicy{hmc.ClosedPage, hmc.OpenPage} {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			var hitRate float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig("SSCA2", ModeNone)
+				cfg.Procs = []sim.ProcSpec{{Benchmark: "SSCA2", Cores: 2}}
+				cfg.Scale = 0.02
+				cfg.AccessesPerCore = 4_000
+				cfg.Hierarchy = cache.HierarchyConfig{
+					Cores: 2,
+					L1:    cache.Config{Size: 2 << 10, Ways: 8},
+					LLC:   cache.Config{Size: 128 << 10, Ways: 8},
+				}
+				cfg.HMC = hmc.DefaultConfig()
+				cfg.HMC.Policy = policy
+				res, err := RunBenchmark(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.HMC.Requests > 0 {
+					hitRate = 100 * float64(res.HMC.RowHits) / float64(res.HMC.Requests)
+				}
+			}
+			b.ReportMetric(hitRate, "rowhit_%")
+		})
+	}
+}
+
+// BenchmarkAblationVirtualize measures coalescing efficiency with and
+// without virtual-memory frame scattering: page-granular aggregation is
+// robust to fragmentation by construction.
+func BenchmarkAblationVirtualize(b *testing.B) {
+	for _, virt := range []bool{false, true} {
+		name := "physical"
+		if virt {
+			name = "virtualized"
+		}
+		b.Run(name, func(b *testing.B) {
+			ablationRun(b, func(cfg *sim.Config) { cfg.Virtualize = virt })
+		})
+	}
+}
+
+// BenchmarkAblationPrefetcher measures the contribution of prefetch
+// coalescing (paper §4.2): without the stride prefetcher the dense
+// benchmarks lose much of their in-window adjacency.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	for _, enabled := range []bool{true, false} {
+		name := "on"
+		if !enabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			ablationRun(b, func(cfg *sim.Config) {
+				if !enabled {
+					cfg.Prefetch.Degree = -1
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,276 @@
+// Command pacsim runs the PAC reproduction experiments: it regenerates
+// the paper's tables and figures (DESIGN.md §4 lists the IDs) or runs a
+// single benchmark comparison.
+//
+// Usage:
+//
+//	pacsim -list
+//	pacsim -experiment fig6a [-accesses N] [-cores N] [-scale F] [-csv]
+//	pacsim -experiment all
+//	pacsim -bench GS [-accesses N]
+//	pacsim -config run.json -experiment all
+//
+// A JSON config file (-config) carries the same options as the flags:
+//
+//	{"cores": 8, "accessesPerCore": 100000, "scale": 1.0, "seed": 42}
+//
+// The default scale matches the paper's Table 1 machine (8 cores, 100k
+// accesses per core); -quick shrinks everything for a fast smoke run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/pacsim/pac"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		experiment = flag.String("experiment", "", "experiment ID to run (or \"all\")")
+		bench      = flag.String("bench", "", "run a single benchmark comparison instead of an experiment")
+		accesses   = flag.Int("accesses", 100_000, "trace length per core")
+		cores      = flag.Int("cores", 8, "simulated cores")
+		scale      = flag.Float64("scale", 1.0, "working-set scale factor")
+		seed       = flag.Uint64("seed", 42, "workload generator seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart      = flag.Bool("chart", false, "append an ASCII bar chart of each table's last numeric column")
+		quick      = flag.Bool("quick", false, "fast smoke configuration (small caches, short traces)")
+		config     = flag.String("config", "", "JSON options file (overridden by explicit flags)")
+		jsonOut    = flag.Bool("json", false, "with -bench: emit the full three-mode results as JSON")
+		outDir     = flag.String("out", "", "also write each experiment table to DIR/<id>.txt and .csv")
+		verbose    = flag.Bool("v", false, "print per-simulation progress")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Experiments (paper artefact -> ID):")
+		for _, e := range pac.Experiments() {
+			fmt.Printf("  %-8s %-11s %s\n", e.ID, e.Artefact, e.Desc)
+		}
+		return
+	}
+
+	opts := pac.ExperimentOptions{
+		Cores:           *cores,
+		AccessesPerCore: *accesses,
+		Scale:           *scale,
+		Seed:            *seed,
+	}
+	if *config != "" {
+		fileOpts, err := loadConfig(*config)
+		if err != nil {
+			fail(err)
+		}
+		// The config file provides defaults; explicitly set flags win.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["cores"] && fileOpts.Cores > 0 {
+			opts.Cores = fileOpts.Cores
+		}
+		if !set["accesses"] && fileOpts.AccessesPerCore > 0 {
+			opts.AccessesPerCore = fileOpts.AccessesPerCore
+		}
+		if !set["scale"] && fileOpts.Scale > 0 {
+			opts.Scale = fileOpts.Scale
+		}
+		if !set["seed"] && fileOpts.Seed != 0 {
+			opts.Seed = fileOpts.Seed
+		}
+		if fileOpts.L1Bytes > 0 {
+			opts.L1Bytes = fileOpts.L1Bytes
+		}
+		if fileOpts.LLCBytes > 0 {
+			opts.LLCBytes = fileOpts.LLCBytes
+		}
+	}
+	if *quick {
+		opts.Cores = 2
+		opts.AccessesPerCore = 5_000
+		opts.Scale = 0.02
+		opts.L1Bytes = 2 << 10
+		opts.LLCBytes = 128 << 10
+	}
+
+	var progress func(string)
+	if *verbose {
+		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	session := pac.NewExperimentSession(opts, progress)
+
+	switch {
+	case *bench != "":
+		if err := runBench(*bench, opts, *jsonOut); err != nil {
+			fail(err)
+		}
+	case *experiment == "all":
+		for _, e := range pac.Experiments() {
+			if err := runExperiment(session, e.ID, *csv, *chart, *verbose, *outDir); err != nil {
+				fail(err)
+			}
+		}
+	case *experiment != "":
+		if err := runExperiment(session, *experiment, *csv, *chart, *verbose, *outDir); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// fileOptions is the JSON schema of -config.
+type fileOptions struct {
+	Cores           int     `json:"cores"`
+	AccessesPerCore int     `json:"accessesPerCore"`
+	Scale           float64 `json:"scale"`
+	Seed            uint64  `json:"seed"`
+	L1Bytes         int     `json:"l1Bytes"`
+	LLCBytes        int     `json:"llcBytes"`
+}
+
+// loadConfig parses a JSON options file.
+func loadConfig(path string) (fileOptions, error) {
+	var fo fileOptions
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fo, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fo); err != nil {
+		return fo, fmt.Errorf("config %s: %w", path, err)
+	}
+	return fo, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pacsim:", err)
+	os.Exit(1)
+}
+
+func runExperiment(session *pac.ExperimentSession, id string, csv, chart, verbose bool, outDir string) error {
+	start := time.Now()
+	tables, err := pac.RunExperimentIn(session, id)
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		if err := writeTables(outDir, id, tables); err != nil {
+			return err
+		}
+	}
+	for _, t := range tables {
+		if csv {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := t.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if chart && len(t.Headers()) >= 2 {
+			fmt.Println()
+			c := pac.ChartFromTable(t, 0, chartColumn(t))
+			c.Width = 40
+			if err := c.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "%s completed in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// writeTables stores an experiment's tables under dir as text and CSV.
+func writeTables(dir, id string, tables []*pac.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(path string, render func(*os.File, *pac.Table) error, t *pac.Table) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f, t); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	for i, t := range tables {
+		suffix := ""
+		if len(tables) > 1 {
+			suffix = fmt.Sprintf("-%d", i+1)
+		}
+		base := dir + "/" + id + suffix
+		if err := write(base+".txt", func(f *os.File, t *pac.Table) error { return t.WriteText(f) }, t); err != nil {
+			return err
+		}
+		if err := write(base+".csv", func(f *os.File, t *pac.Table) error { return t.WriteCSV(f) }, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chartColumn picks the most interesting column to chart: the first
+// percentage column when one exists (the PAC metric), the last column
+// otherwise.
+func chartColumn(t *pac.Table) int {
+	headers := t.Headers()
+	for i, h := range headers {
+		if strings.Contains(h, "%") {
+			return i
+		}
+	}
+	return len(headers) - 1
+}
+
+func runBench(name string, opts pac.ExperimentOptions, jsonOut bool) error {
+	cfg := pac.DefaultSimConfig(name, pac.ModePAC)
+	cfg.Procs = []pac.ProcSpec{{Benchmark: name, Cores: opts.Cores}}
+	cfg.AccessesPerCore = opts.AccessesPerCore
+	cfg.Scale = opts.Scale
+	cfg.Seed = opts.Seed
+	cmp, err := pac.CompareModes(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]interface{}{
+			"benchmark": name,
+			"baseline":  cmp.Baseline,
+			"dmc":       cmp.DMC,
+			"pac":       cmp.PAC,
+			"speedupPct": map[string]float64{
+				"pac": cmp.Speedup(),
+				"dmc": cmp.DMCSpeedup(),
+			},
+		})
+	}
+	fmt.Printf("benchmark %s (%d cores, %d accesses/core)\n", name, opts.Cores, opts.AccessesPerCore)
+	fmt.Printf("  coalescing efficiency: PAC %.2f%%  DMC %.2f%%\n",
+		cmp.PAC.CoalescingEfficiency(), cmp.DMC.CoalescingEfficiency())
+	fmt.Printf("  runtime improvement:   PAC %.2f%%  DMC %.2f%%\n", cmp.Speedup(), cmp.DMCSpeedup())
+	fmt.Printf("  bank conflicts:        base %d -> PAC %d (-%.2f%%)\n",
+		cmp.Baseline.HMC.BankConflicts, cmp.PAC.HMC.BankConflicts, cmp.BankConflictReduction())
+	fmt.Printf("  device energy saving:  %.2f%%\n", cmp.EnergySaving())
+	fmt.Printf("  avg load latency:      base %.1fns -> PAC %.1fns (P95 %.1fns -> %.1fns)\n",
+		cmp.Baseline.AvgLoadLatencyNS(), cmp.PAC.AvgLoadLatencyNS(),
+		cmp.Baseline.LoadLatencyPercentileNS(0.95), cmp.PAC.LoadLatencyPercentileNS(0.95))
+	fmt.Printf("  device bandwidth:      base %.2f GB/s -> PAC %.2f GB/s\n",
+		cmp.Baseline.AvgBandwidthGBs(), cmp.PAC.AvgBandwidthGBs())
+	return nil
+}

@@ -1,0 +1,168 @@
+// Command pactrace inspects the LLC-level request streams the coalescer
+// sees: it generates a benchmark trace, optionally dumps it, and prints
+// the distribution statistics that motivated the PAC design (page
+// clustering, adjacency, cross-page opportunity — paper §2.3).
+//
+// Usage:
+//
+//	pactrace -bench BFS -n 20000            # distribution summary
+//	pactrace -bench GS -dump -n 50 | head   # raw request dump
+//	pactrace -bench GS -save gs.pact        # record a binary trace
+//	pactrace -load gs.pact                  # summarise a recorded trace
+//	pactrace -load gs.pact -dump            # dump a recorded trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/pacsim/pac"
+	"github.com/pacsim/pac/internal/cluster"
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/trace"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "GS", "benchmark to trace")
+		n     = flag.Int("n", 20_000, "number of LLC requests to capture")
+		cores = flag.Int("cores", 8, "simulated cores")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		dump  = flag.Bool("dump", false, "dump raw requests instead of the summary")
+		save  = flag.String("save", "", "write the captured trace to this file (binary PACT format)")
+		load  = flag.String("load", "", "read a recorded trace instead of capturing one")
+	)
+	flag.Parse()
+
+	var reqs []mem.Request
+	var err error
+	name := *bench
+	if *load != "" {
+		reqs, err = loadTrace(*load)
+		name = *load
+	} else {
+		reqs, err = capture(*bench, *cores, *seed, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pactrace:", err)
+		os.Exit(1)
+	}
+
+	if *save != "" {
+		if err := saveTrace(*save, reqs); err != nil {
+			fmt.Fprintln(os.Stderr, "pactrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d requests to %s\n", len(reqs), *save)
+	}
+
+	if *dump {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		for _, r := range reqs {
+			kind := "demand"
+			if r.Prefetch {
+				kind = "pf"
+			}
+			fmt.Fprintf(w, "%8d %-2s core%d %-6s 0x%012x page=0x%x block=%d\n",
+				r.Issue, r.Op, r.Core, kind, r.Addr, mem.PPN(r.Addr), mem.BlockID(r.Addr))
+		}
+		return
+	}
+	summarize(name, reqs)
+}
+
+// saveTrace writes the binary trace file.
+func saveTrace(path string, reqs []mem.Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Write(f, reqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadTrace reads a binary trace file.
+func loadTrace(path string) ([]mem.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// capture runs the benchmark under the PAC configuration and records the
+// first n LLC-level requests.
+func capture(bench string, cores int, seed uint64, n int) ([]mem.Request, error) {
+	cfg := sim.DefaultConfig(bench, pac.ModePAC)
+	cfg.Procs = []sim.ProcSpec{{Benchmark: bench, Cores: cores}}
+	cfg.Seed = seed
+	// Size the trace length so roughly n requests emerge.
+	cfg.AccessesPerCore = 4*n/cores + 1000
+	var reqs []mem.Request
+	cfg.TraceSink = func(r mem.Request) {
+		if len(reqs) < n {
+			reqs = append(reqs, r)
+		}
+	}
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runner.Run(); err != nil {
+		return nil, err
+	}
+	return reqs, nil
+}
+
+func summarize(bench string, reqs []mem.Request) {
+	pages := map[uint64]int{}
+	var loads, stores, atomics, prefetches int
+	for _, r := range reqs {
+		pages[mem.PPN(r.Addr)]++
+		switch {
+		case r.Prefetch:
+			prefetches++
+		case r.Op == mem.OpStore:
+			stores++
+		case r.Op == mem.OpAtomic:
+			atomics++
+		default:
+			loads++
+		}
+	}
+	counts := make([]int, 0, len(pages))
+	for _, c := range pages {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+
+	fmt.Printf("trace of %s: %d LLC requests\n", bench, len(reqs))
+	fmt.Printf("  demand loads %d, stores/write-backs %d, atomics %d, prefetches %d\n",
+		loads, stores, atomics, prefetches)
+	fmt.Printf("  distinct pages touched: %d (%.2f requests/page)\n",
+		len(pages), float64(len(reqs))/float64(len(pages)))
+	top := counts
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	fmt.Printf("  hottest pages (requests): %v\n", top)
+
+	// DBSCAN view (Figures 8/9): eps = one page.
+	addrs := make([]uint64, len(reqs))
+	for i, r := range reqs {
+		addrs[i] = r.Addr
+	}
+	res := cluster.DBSCAN(addrs, mem.PageSize, 3)
+	clustered := len(reqs) - res.NoiseCount()
+	fmt.Printf("  DBSCAN(eps=4KB): %d clusters, %d/%d requests clustered (%.1f%%)\n",
+		res.Clusters, clustered, len(reqs), 100*float64(clustered)/float64(len(reqs)))
+}

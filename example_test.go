@@ -1,0 +1,87 @@
+package pac_test
+
+// Runnable documentation examples for the public API (go doc / godoc).
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac"
+)
+
+// ExampleCoalescer reproduces the paper's Figure 5 coalescing example on
+// the standalone pipeline.
+func ExampleCoalescer() {
+	c := pac.NewCoalescer(pac.DefaultCoalescerParams())
+	block := func(page, blk uint64) uint64 { return page<<12 | blk<<6 }
+
+	// Two reads on page 0x9 (blocks 1, 2) and one lone read on 0xB.
+	c.Offer(pac.Request{ID: 1, Addr: block(0x9, 1), Size: 64, Op: pac.OpLoad}, false)
+	c.Offer(pac.Request{ID: 2, Addr: block(0x9, 2), Size: 64, Op: pac.OpLoad}, false)
+	c.Offer(pac.Request{ID: 3, Addr: block(0xB, 5), Size: 64, Op: pac.OpLoad}, false)
+
+	for _, pkt := range c.Flush(200) {
+		fmt.Printf("%dB packet with %d raw requests\n", pkt.Size, len(pkt.Parents))
+	}
+	// Unordered output:
+	// 128B packet with 2 raw requests
+	// 64B packet with 1 raw requests
+}
+
+// ExampleCoalescer_deviceProfiles shows the paper's §4.1 portability: the
+// same pipeline targets HMC 1.0, HMC 2.1 or HBM by swapping the device
+// profile.
+func ExampleCoalescer_deviceProfiles() {
+	for _, dev := range []pac.DeviceProfile{pac.HMC10, pac.HMC21, pac.HBM} {
+		params := pac.DefaultCoalescerParams()
+		params.Device = dev
+		c := pac.NewCoalescer(params)
+		for blk := uint64(0); blk < 16; blk++ { // one 1KB adjacent run
+			c.Offer(pac.Request{ID: blk + 1, Addr: 0x40000 + blk*64, Size: 64, Op: pac.OpLoad}, false)
+		}
+		fmt.Printf("%s: %d packets\n", dev.Name, len(c.Flush(400)))
+	}
+	// Output:
+	// HMC-1.0: 8 packets
+	// HMC-2.1: 4 packets
+	// HBM: 1 packets
+}
+
+// ExampleBenchmarks lists the paper's evaluation suite.
+func ExampleBenchmarks() {
+	fmt.Println(len(pac.Benchmarks()), "benchmarks, first:", pac.Benchmarks()[0])
+	// Output:
+	// 14 benchmarks, first: STREAM
+}
+
+// ExampleNewCustomWorkload drives the full machine with a user-defined
+// workload: a blocked kernel reading a private matrix and gathering from
+// a shared table.
+func ExampleNewCustomWorkload() {
+	spec := pac.CustomWorkloadSpec{
+		Name: "MYKERNEL",
+		Regions: []pac.WorkloadRegion{
+			{Name: "matrix", Bytes: 1 << 20},
+			{Name: "table", Bytes: 1 << 20, Shared: true},
+		},
+		Phases: []pac.WorkloadPhase{
+			{Region: "matrix", Pattern: pac.PatternSeq, Op: "load", Run: 16},
+			{Region: "table", Pattern: pac.PatternBurst, Op: "load", Run: 8},
+			{Region: "matrix", Pattern: pac.PatternSeq, Op: "store", Run: 8},
+		},
+	}
+	gen, err := pac.NewCustomWorkload(spec, 2, 7)
+	if err != nil {
+		panic(err)
+	}
+	cfg := pac.DefaultSimConfig("MYKERNEL", pac.ModePAC)
+	cfg.Procs = []pac.ProcSpec{{Benchmark: "MYKERNEL", Cores: 2}}
+	cfg.Generators = []pac.WorkloadGenerator{gen}
+	cfg.AccessesPerCore = 5000
+	res, err := pac.RunBenchmark(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("coalesced more than a third:", res.CoalescingEfficiency() > 33)
+	// Output:
+	// coalesced more than a third: true
+}

@@ -1,0 +1,44 @@
+// Portability scenario (paper §4.1): the same coalescing logic serves
+// different 3D-stacked memory generations by adjusting only the block
+// sequence width and coalescing table — HMC 1.0 (128B max request),
+// HMC 2.1 (256B), and HBM (1KB rows, 16-block sequences).
+//
+// The example feeds an identical 16-block adjacent run through a PAC
+// configured for each device profile and shows how the packet sizes adapt.
+//
+// Run: go run ./examples/hbmport
+package main
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac"
+)
+
+func main() {
+	profiles := []pac.DeviceProfile{pac.HMC10, pac.HMC21, pac.HBM}
+
+	fmt.Println("one 16-block (1KB) adjacent run, coalesced for each device:")
+	fmt.Println()
+	for _, dev := range profiles {
+		params := pac.DefaultCoalescerParams()
+		params.Device = dev
+		c := pac.NewCoalescer(params)
+		for blk := uint64(0); blk < 16; blk++ {
+			r := pac.Request{ID: blk + 1, Addr: 0x77000000 + blk*64, Size: 64, Op: pac.OpLoad}
+			if !c.Offer(r, false) {
+				panic("queue full")
+			}
+		}
+		pkts := c.Flush(400)
+		fmt.Printf("%-8s (max request %4dB): %2d packets:", dev.Name, dev.MaxReqBytes, len(pkts))
+		for _, p := range pkts {
+			fmt.Printf(" %dB", p.Size)
+		}
+		st := c.Stats()
+		fmt.Printf("   efficiency %.1f%%\n", st.CoalescingEfficiency())
+	}
+	fmt.Println()
+	fmt.Println("no coalescing logic changed between rows — only the block-sequence width")
+	fmt.Println("and the coalescing table, exactly as paper §4.1 argues")
+}

@@ -1,0 +1,58 @@
+// Multiprocessing scenario (paper Figure 6b): two processes with
+// different memory access patterns co-run on distinct cores of the same
+// processor, interleaving their request streams at the shared coalescer.
+//
+// Because distinct processes live in disjoint page frames, a conventional
+// MSHR-based coalescer loses about half of its merging opportunities,
+// while PAC's page-granular streams isolate the processes from each other
+// and degrade only mildly.
+//
+// Run: go run ./examples/multiprocess
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/pacsim/pac"
+)
+
+func run(procs []pac.ProcSpec, mode pac.Mode) *pac.Result {
+	cfg := pac.DefaultSimConfig(procs[0].Benchmark, mode)
+	cfg.Procs = procs
+	cfg.AccessesPerCore = 40_000
+	res, err := pac.RunBenchmark(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multiprocess:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func main() {
+	single := []pac.ProcSpec{{Benchmark: "LU", Cores: 8}}
+	multi := []pac.ProcSpec{
+		{Benchmark: "LU", Cores: 4},
+		{Benchmark: "SP", Cores: 4},
+	}
+
+	fmt.Println("coalescing efficiency: single process vs multiprocessing")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %10s\n", "configuration", "PAC %", "DMC %")
+	for _, c := range []struct {
+		name  string
+		procs []pac.ProcSpec
+	}{
+		{"LU alone (8 cores)", single},
+		{"LU + SP (4+4)", multi},
+	} {
+		p := run(c.procs, pac.ModePAC)
+		d := run(c.procs, pac.ModeDMC)
+		fmt.Printf("%-22s %10.2f %10.2f\n",
+			c.name, p.CoalescingEfficiency(), d.CoalescingEfficiency())
+	}
+	fmt.Println()
+	fmt.Println("the paper observes the same asymmetry: interleaved processes occupy the")
+	fmt.Println("MSHRs with uncoalescable requests from disparate page frames, degrading")
+	fmt.Println("the conventional DMC's merging, while page-granular streams stay stable")
+}

@@ -1,0 +1,3 @@
+module github.com/pacsim/pac
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package cache implements the simulated cache hierarchy in front of the
+// coalescer: a private L1 per core and a shared last-level cache (LLC),
+// both set-associative with true-LRU replacement and write-back,
+// write-allocate policy, matching the paper's Table 1 configuration
+// (8-way, 16KB L1, 8MB L2, 64B blocks).
+//
+// The hierarchy classifies each CPU access and produces the LLC miss
+// stream and write-back stream that feed the coalescing network. It is a
+// tag-only model: no data is stored, only tags and dirty bits.
+package cache
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Size is the capacity in bytes; must be a multiple of Ways*64.
+	Size int
+	// Ways is the set associativity.
+	Ways int
+}
+
+// Cache is a single set-associative, write-back, write-allocate cache.
+type Cache struct {
+	sets   int
+	ways   int
+	tags   []uint64 // sets*ways entries; tag = block number
+	valid  []bool
+	dirty  []bool
+	lru    []uint32 // per-line stamp; larger = more recent
+	stamps []uint32 // per-set clock
+	// Stats.
+	Hits, Misses, WriteBacks int64
+}
+
+// New constructs a cache. It panics on a degenerate geometry, since that
+// is a programming error in the simulator configuration.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.Size <= 0 {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	lines := cfg.Size / mem.BlockSize
+	if lines%cfg.Ways != 0 || lines/cfg.Ways == 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible into %d ways", cfg.Size, cfg.Ways))
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		sets:   sets,
+		ways:   cfg.Ways,
+		tags:   make([]uint64, n),
+		valid:  make([]bool, n),
+		dirty:  make([]bool, n),
+		lru:    make([]uint32, n),
+		stamps: make([]uint32, sets),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Eviction describes a dirty line displaced by an allocation.
+type Eviction struct {
+	// Addr is the block-aligned address of the displaced line.
+	Addr uint64
+	// Dirty reports whether the line must be written back.
+	Dirty bool
+	// Valid reports whether any line was displaced at all.
+	Valid bool
+}
+
+// Access performs a read or write of the block containing addr. On a miss
+// the block is allocated (write-allocate) and the displaced line, if any,
+// is returned. fetch=false allocates without counting a miss-fill (used
+// for full-line write-backs arriving from an upper level, which need no
+// memory read).
+func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction) {
+	blk := mem.BlockNumber(addr)
+	set := int(blk % uint64(c.sets))
+	base := set * c.ways
+	c.stamps[set]++
+	stamp := c.stamps[set]
+
+	// Lookup.
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == blk {
+			c.Hits++
+			c.lru[i] = stamp
+			if write {
+				c.dirty[i] = true
+			}
+			return true, Eviction{}
+		}
+	}
+	c.Misses++
+
+	// Allocate: prefer an invalid way, else the LRU way.
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			goto fill
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		ev = Eviction{
+			Addr:  c.tags[victim] << mem.BlockShift,
+			Dirty: c.dirty[victim],
+			Valid: true,
+		}
+		if ev.Dirty {
+			c.WriteBacks++
+		}
+	}
+fill:
+	c.tags[victim] = blk
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.lru[victim] = stamp
+	return false, ev
+}
+
+// Contains reports whether the block holding addr is currently resident.
+// It does not perturb LRU state; intended for tests and invariant checks.
+func (c *Cache) Contains(addr uint64) bool {
+	blk := mem.BlockNumber(addr)
+	set := int(blk % uint64(c.sets))
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.valid[i] && c.tags[i] == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line and returns the number of dirty lines that
+// would have been written back.
+func (c *Cache) Flush() (dirty int) {
+	for i := range c.valid {
+		if c.valid[i] && c.dirty[i] {
+			dirty++
+		}
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	return dirty
+}

@@ -1,0 +1,318 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func tiny() *Cache { return New(Config{Size: 1024, Ways: 2}) } // 8 sets x 2 ways
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	cases := []Config{
+		{Size: 0, Ways: 8},
+		{Size: 1024, Ways: 0},
+		{Size: 100, Ways: 3},
+		{Size: 3 * 64 * 2, Ways: 2}, // 3 sets: not a power of two
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := tiny()
+	if c.Sets() != 8 || c.Ways() != 2 {
+		t.Fatalf("geometry = %dx%d, want 8x2", c.Sets(), c.Ways())
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := tiny()
+	if hit, _ := c.Access(0x1000, false); hit {
+		t.Fatal("cold cache should miss")
+	}
+	if hit, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access should hit")
+	}
+	if hit, _ := c.Access(0x103f, false); !hit {
+		t.Fatal("same-block access should hit")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny()                                               // 8 sets, 2 ways; blocks 64B apart in same set are 8*64=512B apart
+	a, b, d := uint64(0x0000), uint64(0x0200), uint64(0x0400) // same set
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false)          // a is now MRU
+	_, ev := c.Access(d, false) // evicts b (LRU)
+	if !ev.Valid || ev.Addr != b {
+		t.Fatalf("eviction = %+v, want clean eviction of 0x%x", ev, b)
+	}
+	if ev.Dirty {
+		t.Fatal("clean line reported dirty")
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyEvictionWriteBack(t *testing.T) {
+	c := tiny()
+	a, b, d := uint64(0x0000), uint64(0x0200), uint64(0x0400)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	c.Access(b, false)
+	_, ev := c.Access(d, false) // a is LRU and dirty
+	if !ev.Valid || !ev.Dirty || ev.Addr != a {
+		t.Fatalf("eviction = %+v, want dirty eviction of 0x%x", ev, a)
+	}
+	if c.WriteBacks != 1 {
+		t.Fatalf("WriteBacks = %d, want 1", c.WriteBacks)
+	}
+}
+
+func TestWriteMarksDirtyOnHit(t *testing.T) {
+	c := tiny()
+	a, b, d := uint64(0x0000), uint64(0x0200), uint64(0x0400)
+	c.Access(a, false) // clean fill
+	c.Access(a, true)  // dirty it via hit
+	c.Access(b, false)
+	c.Access(b, false)
+	if _, ev := c.Access(d, false); !ev.Dirty {
+		t.Fatal("write hit did not mark line dirty")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := tiny()
+	c.Access(0x0, true)
+	c.Access(0x40, false)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Fatalf("Flush dirty = %d, want 1", dirty)
+	}
+	if c.Contains(0x0) || c.Contains(0x40) {
+		t.Fatal("lines survive Flush")
+	}
+}
+
+// Property: a block just accessed is always resident immediately after.
+func TestAccessedBlockResident(t *testing.T) {
+	c := New(Config{Size: 4096, Ways: 4})
+	f := func(addr uint64, write bool) bool {
+		addr &= mem.PhysAddrMask
+		c.Access(addr, write)
+		return c.Contains(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits+misses equals total accesses.
+func TestHitMissAccounting(t *testing.T) {
+	c := New(Config{Size: 2048, Ways: 2})
+	f := func(addrs []uint64) bool {
+		before := c.Hits + c.Misses
+		for _, a := range addrs {
+			c.Access(a&mem.PhysAddrMask, a&1 == 1)
+		}
+		return c.Hits+c.Misses == before+int64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetSmallerThanCacheAlwaysHitsAfterWarmup(t *testing.T) {
+	c := New(Config{Size: 16 << 10, Ways: 8})
+	// 128 distinct blocks = 8KB < 16KB capacity, fits regardless of mapping.
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < 128; i++ {
+			c.Access(i*64, false)
+		}
+	}
+	if c.Misses != 128 {
+		t.Fatalf("misses = %d, want 128 (cold only)", c.Misses)
+	}
+}
+
+// --- Hierarchy tests ---
+
+func idGen() func() uint64 {
+	var n uint64
+	return func() uint64 { n++; return n }
+}
+
+func testHierarchy(cores int) *Hierarchy {
+	return NewHierarchy(HierarchyConfig{
+		Cores: cores,
+		L1:    Config{Size: 1 << 10, Ways: 2},
+		LLC:   Config{Size: 8 << 10, Ways: 4},
+	})
+}
+
+func TestHierarchyMissPath(t *testing.T) {
+	h := testHierarchy(2)
+	ids := idGen()
+	out := h.Access(0, 0x5000, 8, mem.OpLoad, 0, 100, ids)
+	if !out.MissValid {
+		t.Fatal("cold access should reach memory")
+	}
+	m := out.Miss
+	if m.Addr != 0x5000 || m.Size != mem.BlockSize || m.Op != mem.OpLoad || m.Core != 0 || m.Issue != 100 {
+		t.Fatalf("bad miss request: %+v", m)
+	}
+	// Same block again: L1 hit.
+	out = h.Access(0, 0x5008, 8, mem.OpLoad, 0, 101, ids)
+	if out.Level != 1 || out.MissValid {
+		t.Fatalf("expected L1 hit, got %+v", out)
+	}
+	// Other core, same block, while the fill is still in flight: the
+	// access must emit a mergeable request (pending hit).
+	out = h.Access(1, 0x5000, 8, mem.OpLoad, 0, 102, ids)
+	if !out.MissValid {
+		t.Fatalf("expected pending-hit request for core 1, got %+v", out)
+	}
+	if h.PendingHits != 1 {
+		t.Fatalf("PendingHits = %d, want 1", h.PendingHits)
+	}
+	// After the fill completes, accesses to the block are plain hits
+	// (L1 here, since the pending hit installed the line there too).
+	h.FillDone(mem.BlockNumber(0x5000))
+	out = h.Access(1, 0x5010, 8, mem.OpLoad, 0, 103, ids)
+	if out.MissValid {
+		t.Fatalf("expected hit for core 1 after FillDone, got %+v", out)
+	}
+}
+
+func TestPendingFillLifecycle(t *testing.T) {
+	h := testHierarchy(2)
+	ids := idGen()
+	h.Access(0, 0x5000, 8, mem.OpLoad, 0, 0, ids)
+	if h.PendingFills() != 1 {
+		t.Fatalf("PendingFills = %d, want 1", h.PendingFills())
+	}
+	h.FillDone(mem.BlockNumber(0x5000))
+	h.FillDone(mem.BlockNumber(0x5000)) // idempotent
+	if h.PendingFills() != 0 {
+		t.Fatalf("PendingFills = %d, want 0", h.PendingFills())
+	}
+}
+
+func TestHierarchyStoreMissFetchesWithLoad(t *testing.T) {
+	// Write-allocate: a store miss fetches its line with a read; the
+	// data reaches memory later as a write-back.
+	h := testHierarchy(1)
+	out := h.Access(0, 0x9000, 8, mem.OpStore, 0, 0, idGen())
+	if !out.MissValid || out.Miss.Op != mem.OpLoad {
+		t.Fatalf("store miss should fetch with a load, got %+v", out)
+	}
+}
+
+func TestHierarchyAtomicBypass(t *testing.T) {
+	h := testHierarchy(1)
+	ids := idGen()
+	for i := 0; i < 2; i++ {
+		out := h.Access(0, 0x7008, 8, mem.OpAtomic, 0, 0, ids)
+		if !out.MissValid || out.Miss.Op != mem.OpAtomic {
+			t.Fatalf("atomic must always go to memory, got %+v", out)
+		}
+		if out.Miss.Addr != 0x7000 {
+			t.Fatalf("atomic request not block aligned: 0x%x", out.Miss.Addr)
+		}
+	}
+	if h.Uncached != 2 {
+		t.Fatalf("Uncached = %d, want 2", h.Uncached)
+	}
+	// Atomics must not have allocated cache lines.
+	if h.L1(0).Contains(0x7000) || h.LLC().Contains(0x7000) {
+		t.Fatal("atomic access polluted the cache")
+	}
+}
+
+func TestHierarchyFencePanics(t *testing.T) {
+	h := testHierarchy(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("fence through Access should panic")
+		}
+	}()
+	h.Access(0, 0, 0, mem.OpFence, 0, 0, idGen())
+}
+
+func TestHierarchyWriteBackEmerges(t *testing.T) {
+	h := testHierarchy(1)
+	ids := idGen()
+	// Dirty many distinct blocks mapping across the whole LLC until dirty
+	// evictions reach memory.
+	var wbs int
+	for i := uint64(0); i < 4096; i++ {
+		out := h.Access(0, i*64, 8, mem.OpStore, 0, int64(i), ids)
+		for _, wb := range out.WriteBacks {
+			wbs++
+			if wb.Op != mem.OpStore || wb.Size != mem.BlockSize {
+				t.Fatalf("bad write-back: %+v", wb)
+			}
+		}
+	}
+	if wbs == 0 {
+		t.Fatal("no write-backs emerged from dirty working set larger than LLC")
+	}
+	if h.WriteBacks != int64(wbs) {
+		t.Fatalf("WriteBacks counter %d != emitted %d", h.WriteBacks, wbs)
+	}
+}
+
+func TestHierarchyStatsConsistency(t *testing.T) {
+	h := testHierarchy(2)
+	ids := idGen()
+	const n = 10000
+	r := uint64(12345)
+	for i := 0; i < n; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		addr := (r >> 16) % (64 << 10)
+		op := mem.OpLoad
+		if r&3 == 0 {
+			op = mem.OpStore
+		}
+		h.Access(int(r%2), addr, 8, op, 0, int64(i), ids)
+	}
+	if h.Accesses != n {
+		t.Fatalf("Accesses = %d, want %d", h.Accesses, n)
+	}
+	if h.L1Hits+h.LLCHits+h.LLCMisses+h.PendingHits != n {
+		t.Fatalf("hit/miss accounting broken: %d+%d+%d+%d != %d",
+			h.L1Hits, h.LLCHits, h.LLCMisses, h.PendingHits, n)
+	}
+}
+
+func TestHierarchyPanicsWithoutCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHierarchy with 0 cores should panic")
+		}
+	}()
+	NewHierarchy(HierarchyConfig{Cores: 0, L1: Config{Size: 1024, Ways: 2}, LLC: Config{Size: 1024, Ways: 2}})
+}
+
+func TestDefaultHierarchyConfig(t *testing.T) {
+	cfg := DefaultHierarchyConfig(8)
+	if cfg.Cores != 8 || cfg.L1.Size != 16<<10 || cfg.LLC.Size != 8<<20 || cfg.L1.Ways != 8 {
+		t.Fatalf("unexpected default config: %+v", cfg)
+	}
+	// Must construct without panicking.
+	NewHierarchy(cfg)
+}

@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// HierarchyConfig describes the two-level hierarchy of the simulated
+// machine (paper Table 1: 8-way, 16K L1 per core, 8MB shared L2/LLC).
+type HierarchyConfig struct {
+	// Cores is the number of private L1 caches.
+	Cores int
+	// L1 and LLC describe the two levels.
+	L1, LLC Config
+}
+
+// DefaultHierarchyConfig returns the paper's Table 1 cache configuration
+// for the given core count.
+func DefaultHierarchyConfig(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores: cores,
+		L1:    Config{Size: 16 << 10, Ways: 8},
+		LLC:   Config{Size: 8 << 20, Ways: 8},
+	}
+}
+
+// Hierarchy is the simulated L1+LLC stack shared by all cores. It converts
+// raw CPU accesses into the LLC miss stream and write-back stream consumed
+// by the coalescing layer.
+type Hierarchy struct {
+	l1  []*Cache
+	llc *Cache
+	// pending tracks LLC blocks whose memory fill is still in flight.
+	// An access from another core that reaches the LLC while its block
+	// is pending must still emit a memory request — downstream MSHR
+	// merging (or PAC coalescing) is what absorbs it, exactly the
+	// behaviour the paper's MSHR-based DMC baseline relies on.
+	pending map[uint64]struct{}
+	// Stats.
+	Accesses    int64 // data accesses observed (fences excluded)
+	L1Hits      int64
+	LLCHits     int64
+	LLCMisses   int64
+	PendingHits int64 // LLC hits on in-flight blocks (emit requests)
+	Uncached    int64 // atomics routed around the hierarchy
+	WriteBacks  int64 // dirty LLC evictions sent to memory
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.Cores <= 0 {
+		panic("cache: hierarchy needs at least one core")
+	}
+	h := &Hierarchy{llc: New(cfg.LLC), pending: make(map[uint64]struct{})}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, New(cfg.L1))
+	}
+	return h
+}
+
+// Prefetch installs the block containing addr in the LLC as an in-flight
+// fill, unless it is already resident or pending. It returns the memory
+// request to dispatch (marked Prefetch) and any dirty eviction it caused.
+func (h *Hierarchy) Prefetch(addr uint64, core, proc int, cycle int64, ids func() uint64) (miss mem.Request, wbs []mem.Request, ok bool) {
+	blk := mem.BlockNumber(addr)
+	if _, inflight := h.pending[blk]; inflight || h.llc.Contains(addr) {
+		return mem.Request{}, nil, false
+	}
+	if _, ev := h.llc.Access(addr, false); ev.Valid && ev.Dirty {
+		h.WriteBacks++
+		wbs = append(wbs, mem.Request{
+			ID: ids(), Addr: ev.Addr, Size: mem.BlockSize,
+			Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
+		})
+	}
+	h.pending[blk] = struct{}{}
+	return mem.Request{
+		ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
+		Op: mem.OpLoad, Core: core, Proc: proc, Issue: cycle, Prefetch: true,
+	}, wbs, true
+}
+
+// FillDone signals that the memory fill for the block with the given
+// block number completed; subsequent LLC hits on it are plain hits. It is
+// idempotent.
+func (h *Hierarchy) FillDone(blockNumber uint64) {
+	delete(h.pending, blockNumber)
+}
+
+// PendingFills returns the number of blocks with in-flight fills.
+func (h *Hierarchy) PendingFills() int { return len(h.pending) }
+
+// L1 returns core i's private cache (for tests and stats).
+func (h *Hierarchy) L1(i int) *Cache { return h.l1[i] }
+
+// LLC returns the shared last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// Outcome reports what one CPU access did to the hierarchy.
+type Outcome struct {
+	// Level is 1 for an L1 hit, 2 for an LLC hit, 0 for an LLC miss
+	// or uncached access.
+	Level int
+	// Miss, when Valid, is the block-granular request that must go to
+	// memory: an LLC load/store miss, or the access itself for
+	// atomics (uncached).
+	Miss mem.Request
+	// MissValid reports whether Miss is populated.
+	MissValid bool
+	// WriteBacks are dirty LLC evictions (block-granular stores) that
+	// must also go to memory.
+	WriteBacks []mem.Request
+}
+
+// Access runs one CPU data access (1..64B, load/store/atomic) through the
+// hierarchy. Fences must be handled by the caller; passing one panics.
+// The ids function mints unique request IDs for generated memory traffic.
+func (h *Hierarchy) Access(core int, addr uint64, size uint32, op mem.Op, proc int, cycle int64, ids func() uint64) Outcome {
+	if op == mem.OpFence {
+		panic("cache: fence passed to Hierarchy.Access")
+	}
+	h.Accesses++
+
+	// Atomics bypass the hierarchy entirely: the paper routes them
+	// directly to the memory controller to preserve atomicity.
+	if op == mem.OpAtomic {
+		h.Uncached++
+		return Outcome{MissValid: true, Miss: mem.Request{
+			ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
+			Op: mem.OpAtomic, Core: core, Proc: proc, Issue: cycle,
+		}}
+	}
+
+	write := op == mem.OpStore
+	l1 := h.l1[core]
+	if hit, ev := l1.Access(addr, write); hit {
+		h.L1Hits++
+		return Outcome{Level: 1}
+	} else if ev.Valid && ev.Dirty {
+		// Dirty L1 victim is installed in the LLC. A full-line
+		// write needs no memory fetch; but if the LLC displaces a
+		// dirty line of its own, that one goes to memory.
+		if _, llcEv := h.llc.Access(ev.Addr, true); llcEv.Valid && llcEv.Dirty {
+			h.WriteBacks++
+			return h.fill(core, addr, write, proc, cycle, ids, []mem.Request{{
+				ID: ids(), Addr: llcEv.Addr, Size: mem.BlockSize,
+				Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
+			}})
+		}
+	}
+	return h.fill(core, addr, write, proc, cycle, ids, nil)
+}
+
+// fill services an L1 miss from the LLC, recording an LLC miss request
+// when the block is absent there too.
+func (h *Hierarchy) fill(core int, addr uint64, write bool, proc int, cycle int64, ids func() uint64, wbs []mem.Request) Outcome {
+	hit, ev := h.llc.Access(addr, false) // L1 owns the dirty bit until eviction
+	if ev.Valid && ev.Dirty {
+		h.WriteBacks++
+		wbs = append(wbs, mem.Request{
+			ID: ids(), Addr: ev.Addr, Size: mem.BlockSize,
+			Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
+		})
+	}
+	blk := mem.BlockNumber(addr)
+	// Write-allocate: a store miss fetches its line with a READ; the
+	// store itself reaches memory later as a write-back when the dirty
+	// line is evicted. The ST requests of the paper's Figure 5 example
+	// correspond to the write-back stream here. Fills therefore always
+	// carry OpLoad, which also lets them coalesce with prefetches.
+	op := mem.OpLoad
+	if hit {
+		if _, inflight := h.pending[blk]; !inflight {
+			h.LLCHits++
+			return Outcome{Level: 2, WriteBacks: wbs}
+		}
+		// The block's fill is still in flight: this access must emit
+		// its own request, to be merged downstream.
+		h.PendingHits++
+		return Outcome{
+			MissValid: true,
+			Miss: mem.Request{
+				ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
+				Op: op, Core: core, Proc: proc, Issue: cycle,
+			},
+			WriteBacks: wbs,
+		}
+	}
+	h.LLCMisses++
+	h.pending[blk] = struct{}{}
+	return Outcome{
+		MissValid: true,
+		Miss: mem.Request{
+			ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
+			Op: op, Core: core, Proc: proc, Issue: cycle,
+		},
+		WriteBacks: wbs,
+	}
+}

@@ -1,0 +1,127 @@
+// Package cluster implements one-dimensional DBSCAN (density-based
+// spatial clustering of applications with noise, Ester et al. 1996), used
+// by the paper's request-distribution analysis (Figures 8 and 9): traced
+// physical addresses are clustered with eps = 4KB (one physical page) to
+// reveal whether a benchmark's memory footprint is spatially clustered
+// (SPARSELU) or scattered (BFS).
+//
+// The general DBSCAN definition is followed — core points need minPts
+// neighbours within eps — but the implementation exploits the
+// one-dimensional domain by sorting once and scanning, which makes the
+// usual O(n^2) neighbourhood queries O(n log n) overall.
+package cluster
+
+import "sort"
+
+// Noise is the label assigned to unclustered points.
+const Noise = -1
+
+// Result holds a clustering outcome.
+type Result struct {
+	// Labels assigns each input point (by index) a cluster number
+	// 0..Clusters-1, or Noise.
+	Labels []int
+	// Clusters is the number of clusters found.
+	Clusters int
+}
+
+// ClusterSizes returns the number of points in each cluster.
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, r.Clusters)
+	for _, l := range r.Labels {
+		if l != Noise {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+// NoiseCount returns the number of unclustered points.
+func (r *Result) NoiseCount() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// DBSCAN clusters one-dimensional points (physical addresses) with the
+// given eps radius and minPts density threshold. minPts counts the point
+// itself, per the original formulation; minPts <= 1 makes every point a
+// core point.
+func DBSCAN(points []uint64, eps uint64, minPts int) Result {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 {
+		return Result{Labels: labels}
+	}
+
+	// Sort indices by coordinate; neighbourhoods become contiguous
+	// index ranges.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return points[order[a]] < points[order[b]] })
+
+	// neighbours returns the half-open range [lo, hi) of sorted
+	// positions within eps of sorted position p.
+	neighbours := func(p int) (lo, hi int) {
+		v := points[order[p]]
+		lo, hi = p, p+1
+		for lo > 0 && v-points[order[lo-1]] <= eps {
+			lo--
+		}
+		for hi < n && points[order[hi]]-v <= eps {
+			hi++
+		}
+		return lo, hi
+	}
+
+	cluster := 0
+	visited := make([]bool, n) // by sorted position
+	for p := 0; p < n; p++ {
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		lo, hi := neighbours(p)
+		if hi-lo < minPts {
+			continue // not a core point; stays noise unless absorbed
+		}
+		// Expand a new cluster from this core point.
+		labels[order[p]] = cluster
+		queue := make([]int, 0, hi-lo)
+		for q := lo; q < hi; q++ {
+			if q != p {
+				queue = append(queue, q)
+			}
+		}
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if labels[order[q]] == Noise {
+				labels[order[q]] = cluster // border or core point
+			}
+			if visited[q] {
+				continue
+			}
+			visited[q] = true
+			qlo, qhi := neighbours(q)
+			if qhi-qlo >= minPts {
+				for r := qlo; r < qhi; r++ {
+					if !visited[r] || labels[order[r]] == Noise {
+						queue = append(queue, r)
+					}
+				}
+			}
+		}
+		cluster++
+	}
+	return Result{Labels: labels, Clusters: cluster}
+}

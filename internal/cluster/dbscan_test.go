@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	r := DBSCAN(nil, 10, 2)
+	if r.Clusters != 0 || len(r.Labels) != 0 || r.NoiseCount() != 0 {
+		t.Fatalf("empty input: %+v", r)
+	}
+}
+
+func TestSinglePointIsNoise(t *testing.T) {
+	r := DBSCAN([]uint64{100}, 10, 2)
+	if r.Clusters != 0 || r.Labels[0] != Noise {
+		t.Fatalf("lone point should be noise with minPts=2: %+v", r)
+	}
+}
+
+func TestSinglePointMinPtsOne(t *testing.T) {
+	r := DBSCAN([]uint64{100}, 10, 1)
+	if r.Clusters != 1 || r.Labels[0] != 0 {
+		t.Fatalf("minPts=1 should cluster lone point: %+v", r)
+	}
+}
+
+func TestTwoWellSeparatedClusters(t *testing.T) {
+	pts := []uint64{10, 12, 15, 1000, 1003, 1008}
+	r := DBSCAN(pts, 10, 2)
+	if r.Clusters != 2 {
+		t.Fatalf("Clusters = %d, want 2 (%v)", r.Clusters, r.Labels)
+	}
+	if r.Labels[0] != r.Labels[1] || r.Labels[1] != r.Labels[2] {
+		t.Errorf("first group split: %v", r.Labels)
+	}
+	if r.Labels[3] != r.Labels[4] || r.Labels[4] != r.Labels[5] {
+		t.Errorf("second group split: %v", r.Labels)
+	}
+	if r.Labels[0] == r.Labels[3] {
+		t.Errorf("groups merged: %v", r.Labels)
+	}
+	sizes := r.ClusterSizes()
+	if len(sizes) != 2 || sizes[0] != 3 || sizes[1] != 3 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestChainedPointsFormOneCluster(t *testing.T) {
+	// Points spaced exactly eps apart chain transitively.
+	pts := []uint64{0, 10, 20, 30, 40}
+	r := DBSCAN(pts, 10, 2)
+	if r.Clusters != 1 {
+		t.Fatalf("chain split into %d clusters: %v", r.Clusters, r.Labels)
+	}
+	if r.NoiseCount() != 0 {
+		t.Errorf("chain has noise: %v", r.Labels)
+	}
+}
+
+func TestNoiseBetweenClusters(t *testing.T) {
+	pts := []uint64{0, 1, 2, 500, 1000, 1001, 1002}
+	r := DBSCAN(pts, 5, 3)
+	if r.Clusters != 2 {
+		t.Fatalf("Clusters = %d, want 2", r.Clusters)
+	}
+	if r.Labels[3] != Noise {
+		t.Errorf("isolated midpoint not noise: %v", r.Labels)
+	}
+	if r.NoiseCount() != 1 {
+		t.Errorf("NoiseCount = %d, want 1", r.NoiseCount())
+	}
+}
+
+func TestBorderPointAbsorbed(t *testing.T) {
+	// 0,1,2 are core (minPts=3, eps=2); 4 is within eps of core point 2
+	// but itself has only 2 neighbours -> border point, joins cluster.
+	pts := []uint64{0, 1, 2, 4}
+	r := DBSCAN(pts, 2, 3)
+	if r.Clusters != 1 {
+		t.Fatalf("Clusters = %d, want 1 (%v)", r.Clusters, r.Labels)
+	}
+	if r.Labels[3] == Noise {
+		t.Errorf("border point left as noise: %v", r.Labels)
+	}
+}
+
+func TestUnsortedInputOrderIndependent(t *testing.T) {
+	pts := []uint64{1000, 12, 1003, 10, 15, 1008}
+	r := DBSCAN(pts, 10, 2)
+	if r.Clusters != 2 {
+		t.Fatalf("unsorted input: %d clusters, want 2", r.Clusters)
+	}
+	// 10,12,15 (indices 3,1,4) together; 1000,1003,1008 (0,2,5) together.
+	if !(r.Labels[3] == r.Labels[1] && r.Labels[1] == r.Labels[4]) {
+		t.Errorf("low group split: %v", r.Labels)
+	}
+	if !(r.Labels[0] == r.Labels[2] && r.Labels[2] == r.Labels[5]) {
+		t.Errorf("high group split: %v", r.Labels)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := []uint64{5, 5, 5, 5}
+	r := DBSCAN(pts, 0, 4)
+	if r.Clusters != 1 || r.NoiseCount() != 0 {
+		t.Fatalf("duplicates: %+v", r)
+	}
+}
+
+// Property: every point is either noise or in a cluster with >= minPts
+// members (cluster sizes below minPts are impossible because clusters
+// grow from core points).
+func TestClusterSizeInvariant(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 1
+		pts := make([]uint64, n)
+		for i := range pts {
+			pts[i] = uint64(rng.Intn(10000))
+		}
+		const minPts = 3
+		r := DBSCAN(pts, 16, minPts)
+		for _, sz := range r.ClusterSizes() {
+			if sz < minPts {
+				return false
+			}
+		}
+		total := r.NoiseCount()
+		for _, sz := range r.ClusterSizes() {
+			total += sz
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clustering is invariant under input permutation (same
+// partition, possibly renumbered).
+func TestPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60
+		pts := make([]uint64, n)
+		for i := range pts {
+			pts[i] = uint64(rng.Intn(2000))
+		}
+		r1 := DBSCAN(pts, 8, 2)
+		perm := rng.Perm(n)
+		shuffled := make([]uint64, n)
+		for i, p := range perm {
+			shuffled[i] = pts[p]
+		}
+		r2 := DBSCAN(shuffled, 8, 2)
+		if r1.Clusters != r2.Clusters || r1.NoiseCount() != r2.NoiseCount() {
+			return false
+		}
+		// Same-cluster relations must be preserved.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				same1 := r1.Labels[perm[i]] == r1.Labels[perm[j]] && r1.Labels[perm[i]] != Noise
+				same2 := r2.Labels[i] == r2.Labels[j] && r2.Labels[i] != Noise
+				if same1 != same2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

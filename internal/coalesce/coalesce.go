@@ -1,0 +1,174 @@
+// Package coalesce defines the common interface between the simulation
+// driver and the coalescing layer, and implements the paper's baselines:
+// a passthrough "standard HMC controller" (no request aggregation) and the
+// conventional MSHR-based dynamic memory coalescer (DMC), whose merging
+// happens in the MSHR file itself at fixed 64B granularity.
+//
+// The PAC from internal/core is adapted to the same interface so that the
+// experiment harness can swap coalescers per run.
+package coalesce
+
+import (
+	"github.com/pacsim/pac/internal/core"
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// Pipeline is the coalescing layer as seen by the simulation driver: LLC
+// traffic goes in via Enqueue, coalesced packets come out via Pop, and
+// Tick advances one cycle.
+type Pipeline interface {
+	// Enqueue offers one LLC request; wb marks write-back traffic.
+	// A false return means the stage is full and the caller must stall.
+	Enqueue(r mem.Request, wb bool) bool
+	// Tick advances the pipeline one cycle.
+	Tick()
+	// Pop removes the next ready packet, if any.
+	Pop() (mem.Coalesced, bool)
+	// Drained reports whether no request remains inside the pipeline.
+	Drained() bool
+	// OutLen returns the number of packets currently waiting in the
+	// output queue (the MAQ for PAC).
+	OutLen() int
+}
+
+// Mode selects the coalescing configuration of a simulation run.
+type Mode int
+
+const (
+	// ModeNone is the baseline standard HMC controller: every 64B LLC
+	// request is dispatched as-is and MSHRs do not merge.
+	ModeNone Mode = iota
+	// ModeDMC is the conventional MSHR-based dynamic memory coalescer:
+	// requests pass through unchanged but the (standard) MSHR file
+	// merges requests hitting the same cache line.
+	ModeDMC
+	// ModePAC is the paper's paged adaptive coalescer with adaptive
+	// MSHRs.
+	ModePAC
+	// ModeSortNet is the sorting-network DMC of Wang et al. (ICPP'18),
+	// the prior 3D-stacked-memory coalescer of paper §2.2 / Fig. 11a.
+	ModeSortNet
+	// ModeRowBuf is the row-buffer-width coalescer of Wang et al.
+	// (ICPP'19, "MAC"), the second prior design of paper §2.2.
+	ModeRowBuf
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "baseline"
+	case ModeDMC:
+		return "MSHR-DMC"
+	case ModePAC:
+		return "PAC"
+	case ModeSortNet:
+		return "sortnet"
+	case ModeRowBuf:
+		return "rowbuf"
+	default:
+		return "unknown"
+	}
+}
+
+// MergesInMSHR reports whether this mode's MSHR file merges requests.
+func (m Mode) MergesInMSHR() bool { return m != ModeNone }
+
+// AdaptiveMSHR reports whether this mode needs the extended MSHRs that
+// hold variable-size coalesced requests.
+func (m Mode) AdaptiveMSHR() bool {
+	return m == ModePAC || m == ModeSortNet || m == ModeRowBuf
+}
+
+// PACAdapter adapts *core.PAC to the Pipeline interface.
+type PACAdapter struct{ *core.PAC }
+
+// Pop drains the PAC's memory access queue.
+func (a PACAdapter) Pop() (mem.Coalesced, bool) { return a.PopMAQ() }
+
+// PushFront returns a popped packet to the MAQ head.
+func (a PACAdapter) PushFront(pkt mem.Coalesced) { a.PushFrontMAQ(pkt) }
+
+// OutLen returns the MAQ depth.
+func (a PACAdapter) OutLen() int { return a.MAQLen() }
+
+// Passthrough is the non-aggregating pipeline used by both baselines: each
+// LLC request becomes one 64B packet after a single-cycle latency, at one
+// request per cycle (mirroring PAC's intake rate so timing comparisons are
+// apples-to-apples).
+type Passthrough struct {
+	depth  int
+	inQ    []mem.Request
+	outQ   []mem.Coalesced
+	nextID func() uint64
+	now    int64
+	// RawIn and PacketsOut mirror the PAC counters.
+	RawIn, PacketsOut int64
+	// InputStalls counts rejected Enqueues.
+	InputStalls int64
+}
+
+// NewPassthrough builds a passthrough pipeline with the given input queue
+// depth. ids mints packet IDs.
+func NewPassthrough(depth int, ids func() uint64) *Passthrough {
+	if depth <= 0 {
+		panic("coalesce: passthrough depth must be positive")
+	}
+	return &Passthrough{depth: depth, nextID: ids}
+}
+
+// Enqueue implements Pipeline.
+func (p *Passthrough) Enqueue(r mem.Request, wb bool) bool {
+	if len(p.inQ) >= p.depth {
+		p.InputStalls++
+		return false
+	}
+	p.inQ = append(p.inQ, r)
+	return true
+}
+
+// Tick implements Pipeline: move one request per cycle to the output.
+func (p *Passthrough) Tick() {
+	p.now++
+	if len(p.inQ) == 0 {
+		return
+	}
+	r := p.inQ[0]
+	p.inQ = p.inQ[1:]
+	if r.Op == mem.OpFence {
+		return // nothing buffered; fences are no-ops here
+	}
+	p.RawIn++
+	p.PacketsOut++
+	r.Issue = p.now
+	p.outQ = append(p.outQ, mem.Coalesced{
+		ID:        p.nextID(),
+		Addr:      mem.BlockAlign(r.Addr),
+		Size:      mem.BlockSize,
+		Op:        r.Op,
+		Parents:   []mem.Request{r},
+		Assembled: p.now,
+	})
+}
+
+// Pop implements Pipeline.
+func (p *Passthrough) Pop() (mem.Coalesced, bool) {
+	if len(p.outQ) == 0 {
+		return mem.Coalesced{}, false
+	}
+	pkt := p.outQ[0]
+	p.outQ = p.outQ[1:]
+	return pkt, true
+}
+
+// PushFront returns a popped packet to the head of the output queue (used
+// by the driver when the MSHR file is full).
+func (p *Passthrough) PushFront(pkt mem.Coalesced) {
+	p.outQ = append([]mem.Coalesced{pkt}, p.outQ...)
+}
+
+// Drained implements Pipeline.
+func (p *Passthrough) Drained() bool { return len(p.inQ)+len(p.outQ) == 0 }
+
+// OutLen implements Pipeline.
+func (p *Passthrough) OutLen() int { return len(p.outQ) }

@@ -1,0 +1,329 @@
+package coalesce
+
+import (
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/sortnet"
+)
+
+// SortingCoalescer implements the sorting-network DMC of Wang et al.
+// (ICPP'18), the design PAC is compared against in the paper's Figure 11a
+// and §2.2.2: raw requests are collected into a fixed-width batch, run
+// through a parallel sorting network keyed by (op, block address), and
+// merged into adaptive-size packets by scanning the sorted order for
+// contiguous blocks.
+//
+// Its §2.2.2 limitations are visible in the model: the comparator count
+// scales as N·log²N (Figure 11a), and a batch must fill — or a timeout
+// must expire — before anything is emitted, so sparse traffic pays the
+// full batching latency without any coalescing payoff.
+type SortingCoalescer struct {
+	width     int
+	timeout   int64
+	maxBlocks int
+	net       *sortnet.Network
+	nextID    func() uint64
+
+	now        int64
+	batch      []mem.Request
+	batchStart int64
+	outQ       []mem.Coalesced
+
+	// RawIn, PacketsOut and InputStalls mirror the PAC counters;
+	// Comparisons counts compare-exchange activations in the network.
+	RawIn, PacketsOut, InputStalls int64
+}
+
+// NewSortingCoalescer builds a sorting-network coalescer with the given
+// batch width (a power of two; the paper's Figure 11a sweeps 4..64),
+// batching timeout in cycles, and device request limit in blocks.
+func NewSortingCoalescer(width int, timeout int64, maxBlocks int, ids func() uint64) *SortingCoalescer {
+	if width < 2 || width&(width-1) != 0 {
+		panic("coalesce: sorting batch width must be a power of two >= 2")
+	}
+	if timeout <= 0 || maxBlocks < 1 {
+		panic("coalesce: bad sorting coalescer parameters")
+	}
+	return &SortingCoalescer{
+		width:     width,
+		timeout:   timeout,
+		maxBlocks: maxBlocks,
+		net:       sortnet.NewBitonic(),
+		nextID:    ids,
+	}
+}
+
+// Enqueue implements Pipeline.
+func (s *SortingCoalescer) Enqueue(r mem.Request, wb bool) bool {
+	if len(s.batch) >= s.width {
+		s.InputStalls++
+		return false
+	}
+	if r.Op == mem.OpFence {
+		s.flush() // a fence forces the partial batch out
+		return true
+	}
+	if r.Op == mem.OpAtomic {
+		// Atomics pass through unaggregated.
+		s.RawIn++
+		s.PacketsOut++
+		s.outQ = append(s.outQ, mem.Coalesced{
+			ID:        s.nextID(),
+			Addr:      mem.BlockAlign(r.Addr),
+			Size:      mem.BlockSize,
+			Op:        mem.OpAtomic,
+			Parents:   []mem.Request{r},
+			Assembled: s.now,
+			Bypassed:  true,
+		})
+		return true
+	}
+	if len(s.batch) == 0 {
+		s.batchStart = s.now
+	}
+	s.RawIn++
+	r.Issue = s.now
+	s.batch = append(s.batch, r)
+	return true
+}
+
+// Tick implements Pipeline: a full batch sorts and merges; a partial one
+// flushes on timeout.
+func (s *SortingCoalescer) Tick() {
+	s.now++
+	if len(s.batch) == 0 {
+		return
+	}
+	if len(s.batch) >= s.width || s.now-s.batchStart >= s.timeout {
+		s.flush()
+	}
+}
+
+// flush sorts and merges the current batch.
+func (s *SortingCoalescer) flush() {
+	if len(s.batch) == 0 {
+		return
+	}
+	pkts := sortnet.CoalesceBatch(s.net, s.batch, s.maxBlocks, s.nextID)
+	for i := range pkts {
+		pkts[i].Assembled = s.now
+	}
+	s.outQ = append(s.outQ, pkts...)
+	s.PacketsOut += int64(len(pkts))
+	s.batch = s.batch[:0]
+}
+
+// Pop implements Pipeline.
+func (s *SortingCoalescer) Pop() (mem.Coalesced, bool) {
+	if len(s.outQ) == 0 {
+		return mem.Coalesced{}, false
+	}
+	pkt := s.outQ[0]
+	s.outQ = s.outQ[1:]
+	return pkt, true
+}
+
+// PushFront returns a popped packet to the head of the output queue.
+func (s *SortingCoalescer) PushFront(pkt mem.Coalesced) {
+	s.outQ = append([]mem.Coalesced{pkt}, s.outQ...)
+}
+
+// Drained implements Pipeline.
+func (s *SortingCoalescer) Drained() bool { return len(s.batch)+len(s.outQ) == 0 }
+
+// OutLen implements Pipeline.
+func (s *SortingCoalescer) OutLen() int { return len(s.outQ) }
+
+// Comparisons returns the compare-exchange activations so far.
+func (s *SortingCoalescer) Comparisons() int64 { return s.net.Comparisons }
+
+// RowBufferCoalescer implements the row-buffer-width coalescer of
+// Wang et al. (ICPP'19, "MAC"), the second prior design of paper §2.2:
+// raw requests aggregate into slots keyed by the device row (256B for
+// HMC) rather than by physical page. §2.2.2 names its limitations — the
+// fixed row width is not portable across device generations, and
+// irregular footprints across many rows exhaust the aggregation queue —
+// both of which fall out of the model (slots = rows; slot pressure
+// flushes the oldest).
+type RowBufferCoalescer struct {
+	rowBytes int
+	slots    int
+	timeout  int64
+	nextID   func() uint64
+
+	now   int64
+	rows  []rowSlot
+	outQ  []mem.Coalesced
+	order uint64
+
+	// RawIn, PacketsOut and InputStalls mirror the PAC counters.
+	RawIn, PacketsOut, InputStalls int64
+}
+
+type rowSlot struct {
+	valid bool
+	row   uint64
+	op    mem.Op
+	reqs  []mem.Request
+	start int64
+	birth uint64
+}
+
+// NewRowBufferCoalescer builds a row-granular coalescer with the given
+// row width in bytes, slot count, and timeout.
+func NewRowBufferCoalescer(rowBytes, slots int, timeout int64, ids func() uint64) *RowBufferCoalescer {
+	if rowBytes < mem.BlockSize || slots < 1 || timeout <= 0 {
+		panic("coalesce: bad row-buffer coalescer parameters")
+	}
+	return &RowBufferCoalescer{
+		rowBytes: rowBytes,
+		slots:    slots,
+		timeout:  timeout,
+		nextID:   ids,
+		rows:     make([]rowSlot, slots),
+	}
+}
+
+// Enqueue implements Pipeline.
+func (r *RowBufferCoalescer) Enqueue(q mem.Request, wb bool) bool {
+	if q.Op == mem.OpFence {
+		for i := range r.rows {
+			r.flushSlot(i)
+		}
+		return true
+	}
+	if q.Op == mem.OpAtomic {
+		// Atomics pass through unaggregated.
+		r.RawIn++
+		r.outQ = append(r.outQ, r.single(q))
+		r.PacketsOut++
+		return true
+	}
+	row := q.Addr / uint64(r.rowBytes)
+	free, oldest := -1, 0
+	for i := range r.rows {
+		s := &r.rows[i]
+		if !s.valid {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if s.row == row && s.op == q.Op {
+			r.RawIn++
+			q.Issue = r.now
+			s.reqs = append(s.reqs, q)
+			return true
+		}
+		if r.rows[oldest].valid && s.birth < r.rows[oldest].birth {
+			oldest = i
+		}
+	}
+	if free < 0 {
+		// Queue exhausted by requests across disparate rows — the
+		// §2.2.2 pressure case. Evict the oldest slot.
+		r.flushSlot(oldest)
+		free = oldest
+	}
+	r.RawIn++
+	q.Issue = r.now
+	r.order++
+	r.rows[free] = rowSlot{valid: true, row: row, op: q.Op, reqs: []mem.Request{q}, start: r.now, birth: r.order}
+	return true
+}
+
+// single wraps one request as a 64B packet.
+func (r *RowBufferCoalescer) single(q mem.Request) mem.Coalesced {
+	return mem.Coalesced{
+		ID:        r.nextID(),
+		Addr:      mem.BlockAlign(q.Addr),
+		Size:      mem.BlockSize,
+		Op:        q.Op,
+		Parents:   []mem.Request{q},
+		Assembled: r.now,
+		Bypassed:  true,
+	}
+}
+
+// flushSlot merges one slot's requests into row-confined packets.
+func (r *RowBufferCoalescer) flushSlot(i int) {
+	s := &r.rows[i]
+	if !s.valid {
+		return
+	}
+	// Build the block bitmap of the row and emit contiguous runs.
+	blocksPerRow := r.rowBytes / mem.BlockSize
+	present := make([]bool, blocksPerRow)
+	rowBase := s.row * uint64(r.rowBytes)
+	for _, q := range s.reqs {
+		present[(q.Addr-rowBase)/mem.BlockSize] = true
+	}
+	for b := 0; b < blocksPerRow; {
+		if !present[b] {
+			b++
+			continue
+		}
+		run := 0
+		for b+run < blocksPerRow && present[b+run] {
+			run++
+		}
+		pkt := mem.Coalesced{
+			ID:        r.nextID(),
+			Addr:      rowBase + uint64(b*mem.BlockSize),
+			Size:      uint32(run * mem.BlockSize),
+			Op:        s.op,
+			Assembled: r.now,
+		}
+		for _, q := range s.reqs {
+			blk := int((q.Addr - rowBase) / mem.BlockSize)
+			if blk >= b && blk < b+run {
+				pkt.Parents = append(pkt.Parents, q)
+			}
+		}
+		pkt.Bypassed = len(pkt.Parents) == 1 && run == 1
+		r.outQ = append(r.outQ, pkt)
+		r.PacketsOut++
+		b += run
+	}
+	*s = rowSlot{}
+}
+
+// Tick implements Pipeline: timed-out slots flush.
+func (r *RowBufferCoalescer) Tick() {
+	r.now++
+	for i := range r.rows {
+		if r.rows[i].valid && r.now-r.rows[i].start >= r.timeout {
+			r.flushSlot(i)
+		}
+	}
+}
+
+// Pop implements Pipeline.
+func (r *RowBufferCoalescer) Pop() (mem.Coalesced, bool) {
+	if len(r.outQ) == 0 {
+		return mem.Coalesced{}, false
+	}
+	pkt := r.outQ[0]
+	r.outQ = r.outQ[1:]
+	return pkt, true
+}
+
+// PushFront returns a popped packet to the head of the output queue.
+func (r *RowBufferCoalescer) PushFront(pkt mem.Coalesced) {
+	r.outQ = append([]mem.Coalesced{pkt}, r.outQ...)
+}
+
+// Drained implements Pipeline.
+func (r *RowBufferCoalescer) Drained() bool {
+	if len(r.outQ) > 0 {
+		return false
+	}
+	for i := range r.rows {
+		if r.rows[i].valid {
+			return false
+		}
+	}
+	return true
+}
+
+// OutLen implements Pipeline.
+func (r *RowBufferCoalescer) OutLen() int { return len(r.outQ) }

@@ -1,0 +1,263 @@
+package coalesce
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func req(id, addr uint64, op mem.Op) mem.Request {
+	return mem.Request{ID: id, Addr: addr, Size: mem.BlockSize, Op: op}
+}
+
+func drainPipe(p Pipeline, maxCycles int) []mem.Coalesced {
+	var out []mem.Coalesced
+	for i := 0; i < maxCycles; i++ {
+		p.Tick()
+		for {
+			pkt, ok := p.Pop()
+			if !ok {
+				break
+			}
+			out = append(out, pkt)
+		}
+		if p.Drained() {
+			break
+		}
+	}
+	return out
+}
+
+// --- SortingCoalescer ---
+
+func TestSortingCoalescerMergesBatch(t *testing.T) {
+	s := NewSortingCoalescer(8, 16, 4, ids())
+	// Four adjacent blocks arriving out of order, plus a distant one.
+	for _, a := range []uint64{0x10c0, 0x1000, 0x1080, 0x1040, 0x9000} {
+		if !s.Enqueue(req(a, a, mem.OpLoad), false) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	out := drainPipe(s, 100)
+	if len(out) != 2 {
+		t.Fatalf("got %d packets, want 2: %v", len(out), out)
+	}
+	var big mem.Coalesced
+	for _, pkt := range out {
+		if pkt.Size > big.Size {
+			big = pkt
+		}
+	}
+	if big.Size != 256 || big.Addr != 0x1000 || len(big.Parents) != 4 {
+		t.Fatalf("merged packet wrong: %+v", big)
+	}
+	if s.Comparisons() == 0 {
+		t.Error("sorting network did no work")
+	}
+}
+
+func TestSortingCoalescerTimeoutFlush(t *testing.T) {
+	s := NewSortingCoalescer(16, 8, 4, ids())
+	s.Enqueue(req(1, 0x1000, mem.OpLoad), false)
+	emitted := -1
+	for i := 1; i <= 40; i++ {
+		s.Tick()
+		if _, ok := s.Pop(); ok {
+			emitted = i
+			break
+		}
+	}
+	if emitted < 8 || emitted > 10 {
+		t.Fatalf("partial batch emitted after %d cycles, want ~timeout (8)", emitted)
+	}
+}
+
+func TestSortingCoalescerFullBatchFlushesEarly(t *testing.T) {
+	s := NewSortingCoalescer(4, 1000, 4, ids())
+	for i := uint64(0); i < 4; i++ {
+		s.Enqueue(req(i, 0x1000+i*0x2000, mem.OpLoad), false)
+	}
+	s.Tick()
+	if s.OutLen() == 0 {
+		t.Fatal("full batch did not flush on the next cycle")
+	}
+}
+
+func TestSortingCoalescerBackpressure(t *testing.T) {
+	s := NewSortingCoalescer(2, 1000, 4, ids())
+	s.Enqueue(req(1, 0x1000, mem.OpLoad), false)
+	s.Enqueue(req(2, 0x2000, mem.OpLoad), false)
+	if s.Enqueue(req(3, 0x3000, mem.OpLoad), false) {
+		t.Fatal("enqueue into full batch accepted")
+	}
+	if s.InputStalls != 1 {
+		t.Errorf("InputStalls = %d", s.InputStalls)
+	}
+}
+
+func TestSortingCoalescerRowConfinement(t *testing.T) {
+	s := NewSortingCoalescer(8, 16, 4, ids())
+	// Blocks 2..5: contiguous but straddling the 4-block row boundary.
+	for b := uint64(2); b <= 5; b++ {
+		s.Enqueue(req(b, b*64, mem.OpLoad), false)
+	}
+	for _, pkt := range drainPipe(s, 100) {
+		if pkt.Addr/256 != (pkt.Addr+uint64(pkt.Size)-1)/256 {
+			t.Fatalf("packet spans a device row: %+v", pkt)
+		}
+	}
+}
+
+func TestSortingCoalescerAtomicPassthrough(t *testing.T) {
+	s := NewSortingCoalescer(8, 16, 4, ids())
+	s.Enqueue(req(1, 0x1000, mem.OpAtomic), false)
+	if s.OutLen() != 1 {
+		t.Fatal("atomic not passed through immediately")
+	}
+	pkt, _ := s.Pop()
+	if pkt.Op != mem.OpAtomic || !pkt.Bypassed {
+		t.Fatalf("bad atomic packet: %+v", pkt)
+	}
+}
+
+func TestSortingCoalescerFenceFlushes(t *testing.T) {
+	s := NewSortingCoalescer(16, 1000, 4, ids())
+	s.Enqueue(req(1, 0x1000, mem.OpLoad), false)
+	s.Enqueue(req(2, 0x1040, mem.OpLoad), false)
+	s.Enqueue(mem.Request{Op: mem.OpFence}, false)
+	if s.OutLen() == 0 {
+		t.Fatal("fence did not flush the batch")
+	}
+}
+
+func TestSortingCoalescerPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSortingCoalescer(3, 16, 4, ids()) },
+		func() { NewSortingCoalescer(8, 0, 4, ids()) },
+		func() { NewSortingCoalescer(8, 16, 0, ids()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// --- RowBufferCoalescer ---
+
+func TestRowBufferCoalescerMergesWithinRow(t *testing.T) {
+	r := NewRowBufferCoalescer(256, 8, 16, ids())
+	// Blocks 0..3 of one row plus block 0 of another row.
+	for b := uint64(0); b < 4; b++ {
+		r.Enqueue(req(b, 0x1000+b*64, mem.OpLoad), false)
+	}
+	r.Enqueue(req(9, 0x9000, mem.OpLoad), false)
+	out := drainPipe(r, 100)
+	if len(out) != 2 {
+		t.Fatalf("got %d packets, want 2", len(out))
+	}
+	var big mem.Coalesced
+	for _, pkt := range out {
+		if pkt.Size > big.Size {
+			big = pkt
+		}
+	}
+	if big.Size != 256 || len(big.Parents) != 4 {
+		t.Fatalf("row merge wrong: %+v", big)
+	}
+}
+
+func TestRowBufferCoalescerSplitsNonContiguous(t *testing.T) {
+	r := NewRowBufferCoalescer(256, 8, 4, ids())
+	r.Enqueue(req(1, 0x1000, mem.OpLoad), false) // block 0
+	r.Enqueue(req(2, 0x1080, mem.OpLoad), false) // block 2
+	out := drainPipe(r, 100)
+	if len(out) != 2 {
+		t.Fatalf("non-contiguous blocks merged: %v", out)
+	}
+	for _, pkt := range out {
+		if pkt.Size != 64 {
+			t.Errorf("packet size %d, want 64", pkt.Size)
+		}
+	}
+}
+
+func TestRowBufferCoalescerOpSeparation(t *testing.T) {
+	r := NewRowBufferCoalescer(256, 8, 4, ids())
+	r.Enqueue(req(1, 0x1000, mem.OpLoad), false)
+	r.Enqueue(req(2, 0x1040, mem.OpStore), false)
+	out := drainPipe(r, 100)
+	if len(out) != 2 {
+		t.Fatalf("load and store merged across ops: %v", out)
+	}
+}
+
+func TestRowBufferCoalescerSlotPressure(t *testing.T) {
+	// Two slots; a third distinct row evicts the oldest (the paper's
+	// §2.2.2 aggregation-queue exhaustion case).
+	r := NewRowBufferCoalescer(256, 2, 1000, ids())
+	r.Enqueue(req(1, 0x1000, mem.OpLoad), false)
+	r.Enqueue(req(2, 0x2000, mem.OpLoad), false)
+	r.Enqueue(req(3, 0x3000, mem.OpLoad), false)
+	if r.OutLen() != 1 {
+		t.Fatalf("oldest slot not evicted under pressure: OutLen=%d", r.OutLen())
+	}
+	pkt, _ := r.Pop()
+	if pkt.Parents[0].ID != 1 {
+		t.Fatalf("evicted the wrong slot: %+v", pkt)
+	}
+}
+
+func TestRowBufferCoalescerTimeout(t *testing.T) {
+	r := NewRowBufferCoalescer(256, 4, 6, ids())
+	r.Enqueue(req(1, 0x1000, mem.OpLoad), false)
+	emitted := -1
+	for i := 1; i <= 20; i++ {
+		r.Tick()
+		if _, ok := r.Pop(); ok {
+			emitted = i
+			break
+		}
+	}
+	if emitted != 6 {
+		t.Fatalf("slot flushed after %d cycles, want 6", emitted)
+	}
+}
+
+func TestRowBufferCoalescerAtomicAndFence(t *testing.T) {
+	r := NewRowBufferCoalescer(256, 4, 100, ids())
+	r.Enqueue(req(1, 0x1000, mem.OpAtomic), false)
+	if pkt, ok := r.Pop(); !ok || pkt.Op != mem.OpAtomic {
+		t.Fatal("atomic not passed through")
+	}
+	r.Enqueue(req(2, 0x2000, mem.OpLoad), false)
+	r.Enqueue(mem.Request{Op: mem.OpFence}, false)
+	if r.OutLen() != 1 {
+		t.Fatal("fence did not flush slots")
+	}
+}
+
+func TestRowBufferCoalescerPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRowBufferCoalescer(16, 4, 100, ids())
+}
+
+func TestNewModesMetadata(t *testing.T) {
+	if ModeSortNet.String() != "sortnet" || ModeRowBuf.String() != "rowbuf" {
+		t.Error("mode names wrong")
+	}
+	if !ModeSortNet.AdaptiveMSHR() || !ModeRowBuf.AdaptiveMSHR() {
+		t.Error("prior coalescers need adaptive MSHRs for multi-block packets")
+	}
+	if !ModeSortNet.MergesInMSHR() || !ModeRowBuf.MergesInMSHR() {
+		t.Error("prior coalescers should allow MSHR merging")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+// Fuzzing the coalescing pipeline: arbitrary request streams must never
+// panic, never lose or duplicate a request, and always produce well-formed
+// packets.
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// FuzzPipeline decodes the fuzz input as a request script: each byte pair
+// (page selector, block+op) becomes one request or control operation.
+func FuzzPipeline(f *testing.F) {
+	f.Add([]byte{0x01, 0x01, 0x01, 0x02, 0x02, 0x05})
+	f.Add([]byte{0xff, 0x00})
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x41, 0x01, 0x81, 0x01, 0xC1}) // stores/atomics/fence mix
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		c := newTestPAC(nil)
+		var id uint64
+		seen := map[uint64]int{}
+		issued := 0
+
+		record := func() {
+			for {
+				pkt, ok := c.PopMAQ()
+				if !ok {
+					return
+				}
+				if !wellFormed(pkt) {
+					t.Fatalf("malformed packet: %+v", pkt)
+				}
+				for _, p := range pkt.Parents {
+					seen[p.ID]++
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(script); i += 2 {
+			pageSel, blkOp := script[i], script[i+1]
+			op := mem.OpLoad
+			switch blkOp >> 6 {
+			case 1:
+				op = mem.OpStore
+			case 2:
+				op = mem.OpAtomic
+			case 3:
+				op = mem.OpFence
+			}
+			var r mem.Request
+			if op == mem.OpFence {
+				r = mem.Request{Op: mem.OpFence}
+			} else {
+				id++
+				issued++
+				r = mem.Request{
+					ID:   id,
+					Addr: mem.BlockAddr(uint64(pageSel)+1, uint(blkOp&63)),
+					Size: mem.BlockSize,
+					Op:   op,
+				}
+			}
+			for !c.Enqueue(r, op == mem.OpStore) {
+				c.Tick()
+				record()
+			}
+			c.Tick()
+			record()
+		}
+		for i := 0; i < 5000 && !c.Drained(); i++ {
+			c.Tick()
+			record()
+		}
+		if !c.Drained() {
+			t.Fatal("pipeline failed to drain")
+		}
+		if len(seen) != issued {
+			t.Fatalf("issued %d requests, %d emerged", issued, len(seen))
+		}
+		for reqID, n := range seen {
+			if n != 1 {
+				t.Fatalf("request %d emerged %d times", reqID, n)
+			}
+		}
+	})
+}

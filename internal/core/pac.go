@@ -1,0 +1,541 @@
+package core
+
+import (
+	"math/bits"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// coalescingStream is one stage-1 aggregation slot (paper Figure 4): a
+// tagged physical page, a 64-bit block-map, the C bit, and the buffered
+// raw requests.
+type coalescingStream struct {
+	valid bool
+	// tag is mem.TaggedPPN(addr, op): the PPN with the T (type) bit
+	// packed above it so one comparison covers page and operation.
+	tag   uint64
+	op    mem.Op
+	bmap  uint64
+	first int64 // cycle the stream was allocated (timeout base)
+	reqs  []mem.Request
+}
+
+// cBit reports whether the stream holds more than one request and should
+// therefore traverse stages 2-3 (paper §3.3.1).
+func (s *coalescingStream) cBit() bool { return len(s.reqs) > 1 }
+
+// flushedStream is a stage-2 work item: a block-map waiting to be decoded.
+type flushedStream struct {
+	op    mem.Op
+	ppn   uint64
+	bmap  uint64
+	reqs  []mem.Request
+	enter int64 // cycle the stream entered stage 2
+}
+
+// chunkItem is one non-zero partitioned chunk of a block-map, queued for
+// the shared-bus write into the block sequence buffer and then for the
+// request assembler.
+type chunkItem struct {
+	op         mem.Op
+	ppn        uint64
+	chunk      int  // chunk index within the page
+	bits       uint // the partitioned block sequence (width = MaxReqBlocks)
+	reqs       []mem.Request
+	flushEnter int64 // when the parent stream entered stage 2
+	seqEnter   int64 // when the chunk was stored into the sequence buffer
+}
+
+// asmJob is the request assembler's in-flight state: one popped sequence
+// being turned into coalesced packets, one table lookup cycle plus one
+// cycle per emitted packet (paper §3.3.3).
+type asmJob struct {
+	item     chunkItem
+	runs     []Run
+	next     int  // next run to emit
+	lookedUp bool // table lookup cycle consumed
+}
+
+// PAC is the paged adaptive coalescer: input queues, the three-stage
+// pipelined coalescing network, and the memory access queue.
+//
+// Usage per simulated cycle: push LLC traffic with Enqueue, advance the
+// pipeline with Tick, and drain packets with PopMAQ. PAC never drops a
+// request; backpressure propagates through Enqueue returning false.
+type PAC struct {
+	p         Params
+	table     *Table
+	chunkBits int
+
+	now    int64
+	nextID func() uint64
+
+	missQ, wbQ []mem.Request
+	takeWB     bool // round-robin pointer between the input queues
+
+	streams []coalescingStream
+
+	stage2 []flushedStream // decoding (1 cycle, parallel across streams)
+	storeQ []chunkItem     // chunks awaiting the shared-bus buffer write
+	seqBuf []chunkItem     // the block sequence buffer (FIFO)
+
+	asm *asmJob
+
+	bypassQ []mem.Coalesced // C=0 singles and atomics heading to the MAQ
+	maq     []mem.Coalesced
+
+	// MAQ fill-latency measurement state: a window opens when a packet
+	// enters an empty production window and closes after MAQDepth
+	// packets have been produced.
+	fillStart  int64
+	fillPushes int
+	fillActive bool
+
+	lastSample int64
+
+	// Stats holds the accumulated counters; read it after (or during)
+	// a run.
+	Stats Stats
+}
+
+// New constructs a PAC. ids mints unique packet IDs (shared with the rest
+// of the memory system so responses can be routed).
+func New(p Params, ids func() uint64) *PAC {
+	p.validate()
+	if p.SampleInterval == 0 {
+		p.SampleInterval = p.Timeout
+	}
+	w := p.Device.MaxReqBlocks()
+	if w > 16 {
+		w = 16 // the decoder partitions into at most 16-bit sequences (§4.1)
+	}
+	return &PAC{
+		p:         p,
+		table:     NewTable(w, p.PadRuns),
+		chunkBits: w,
+		nextID:    ids,
+		streams:   make([]coalescingStream, p.Streams),
+	}
+}
+
+// Params returns the configuration the PAC was built with.
+func (c *PAC) Params() Params { return c.p }
+
+// Now returns the current pipeline cycle.
+func (c *PAC) Now() int64 { return c.now }
+
+// Enqueue offers one LLC request (miss or write-back) to the coalescer's
+// input queues. It returns false when the corresponding queue is full, in
+// which case the caller must stall and retry (the cache blocks, §3.2).
+// Write-backs are stores flagged by wb; fences may arrive on the miss path.
+func (c *PAC) Enqueue(r mem.Request, wb bool) bool {
+	q := &c.missQ
+	if wb {
+		q = &c.wbQ
+	}
+	if len(*q) >= c.p.InputQueueDepth {
+		c.Stats.InputStalls++
+		return false
+	}
+	*q = append(*q, r)
+	return true
+}
+
+// InputBacklog returns the number of requests waiting in the input queues.
+func (c *PAC) InputBacklog() int { return len(c.missQ) + len(c.wbQ) }
+
+// MAQLen returns the current memory access queue depth.
+func (c *PAC) MAQLen() int { return len(c.maq) }
+
+// MAQEmpty reports whether the MAQ holds no packets.
+func (c *PAC) MAQEmpty() bool { return len(c.maq) == 0 }
+
+// PopMAQ removes and returns the packet at the head of the MAQ.
+func (c *PAC) PopMAQ() (mem.Coalesced, bool) {
+	if len(c.maq) == 0 {
+		return mem.Coalesced{}, false
+	}
+	pkt := c.maq[0]
+	c.maq = c.maq[1:]
+	return pkt, true
+}
+
+// PushFrontMAQ returns a popped packet to the head of the MAQ, used by
+// the driver when the MSHR file is full and the packet must wait without
+// losing its place. It bypasses the capacity check (the packet was just
+// popped, so the queue has room conceptually).
+func (c *PAC) PushFrontMAQ(pkt mem.Coalesced) {
+	c.maq = append([]mem.Coalesced{pkt}, c.maq...)
+}
+
+// Drained reports whether no request is anywhere inside the coalescer
+// (input queues, streams, pipeline, MAQ). Used to terminate simulations.
+func (c *PAC) Drained() bool {
+	if len(c.missQ)+len(c.wbQ)+len(c.stage2)+len(c.storeQ)+len(c.seqBuf)+len(c.bypassQ)+len(c.maq) > 0 {
+		return false
+	}
+	if c.asm != nil {
+		return false
+	}
+	for i := range c.streams {
+		if c.streams[i].valid {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances the pipeline one cycle. Stages run back-to-front so a
+// datum moves at most one stage per cycle.
+func (c *PAC) Tick() {
+	c.now++
+	c.tickMAQIntake()
+	c.tickAssembler()
+	c.tickStore()
+	c.tickDecode()
+	c.tickAggregator()
+	c.sampleOccupancy()
+}
+
+// pushMAQ appends a packet if space remains, maintaining the fill-latency
+// measurement. Returns false when the MAQ is full.
+func (c *PAC) pushMAQ(pkt mem.Coalesced) bool {
+	if len(c.maq) >= c.p.MAQDepth {
+		return false
+	}
+	if !c.fillActive {
+		c.fillStart = c.now
+		c.fillPushes = 0
+		c.fillActive = true
+	}
+	c.maq = append(c.maq, pkt)
+	c.fillPushes++
+	if c.fillPushes >= c.p.MAQDepth {
+		c.Stats.MAQFill.Add(float64(c.now - c.fillStart))
+		c.fillActive = false
+	}
+	c.Stats.PacketsOut++
+	c.Stats.SizeHist.Add(pkt.Blocks())
+	for _, r := range pkt.Parents {
+		c.Stats.OverallLat.Add(float64(c.now - r.Issue))
+	}
+	return true
+}
+
+// tickMAQIntake moves waiting bypass packets (C=0 singles, atomics) into
+// the MAQ.
+func (c *PAC) tickMAQIntake() {
+	for len(c.bypassQ) > 0 {
+		if !c.pushMAQ(c.bypassQ[0]) {
+			c.Stats.MAQStallCycles++
+			return
+		}
+		c.bypassQ = c.bypassQ[1:]
+	}
+}
+
+// tickAssembler advances stage 3: pop a block sequence, spend one cycle on
+// the coalescing-table lookup, then emit one packet per cycle.
+func (c *PAC) tickAssembler() {
+	if c.asm == nil {
+		if len(c.seqBuf) == 0 {
+			return
+		}
+		item := c.seqBuf[0]
+		c.seqBuf = c.seqBuf[1:]
+		c.asm = &asmJob{item: item, runs: c.table.Lookup(item.bits)}
+		// The table lookup consumes this cycle.
+		return
+	}
+	j := c.asm
+	if !j.lookedUp {
+		j.lookedUp = true
+	}
+	if j.next >= len(j.runs) {
+		c.asm = nil
+		c.tickAssembler() // pop the next sequence this cycle
+		return
+	}
+	run := j.runs[j.next]
+	pkt := c.assemble(j.item, run)
+	if !c.pushMAQ(pkt) {
+		c.Stats.MAQStallCycles++
+		return // stall; retry next cycle
+	}
+	c.Stats.Stage3Lat.Add(float64(c.now - j.item.seqEnter))
+	j.next++
+	if j.next >= len(j.runs) {
+		c.asm = nil
+	}
+}
+
+// assemble builds the coalesced packet for one run of a chunk.
+func (c *PAC) assemble(item chunkItem, run Run) mem.Coalesced {
+	firstBlock := uint(item.chunk*c.chunkBits + run.Off)
+	addr := mem.BlockAddr(item.ppn, firstBlock)
+	var parents []mem.Request
+	for _, r := range item.reqs {
+		b := int(mem.BlockID(r.Addr))
+		rel := b - item.chunk*c.chunkBits
+		if rel >= run.Off && rel < run.Off+run.Len {
+			parents = append(parents, r)
+		}
+	}
+	return mem.Coalesced{
+		ID:        c.nextID(),
+		Addr:      addr,
+		Size:      uint32(run.Len * mem.BlockSize),
+		Op:        item.op,
+		Parents:   parents,
+		Assembled: c.now,
+	}
+}
+
+// tickStore advances the shared-bus write of decoded chunks into the block
+// sequence buffer: one chunk per cycle (paper §3.3.2).
+func (c *PAC) tickStore() {
+	if len(c.storeQ) == 0 {
+		return
+	}
+	item := c.storeQ[0]
+	c.storeQ = c.storeQ[1:]
+	item.seqEnter = c.now
+	c.seqBuf = append(c.seqBuf, item)
+	// Stage-2 latency is flush-to-stored for the stream's last chunk;
+	// record per chunk, which weights streams by their chunk count.
+	c.Stats.Stage2Lat.Add(float64(c.now - item.flushEnter))
+}
+
+// tickDecode advances stage 2: every flushed stream decodes in one cycle
+// (16 parallel OR gates per the paper), after which its non-zero chunks
+// join the store queue.
+func (c *PAC) tickDecode() {
+	var rest []flushedStream
+	for _, f := range c.stage2 {
+		if c.now <= f.enter {
+			rest = append(rest, f) // decode happens the cycle after entry
+			continue
+		}
+		c.decodeChunks(f)
+	}
+	c.stage2 = rest
+}
+
+// decodeChunks partitions a flushed stream's block-map into chunkBits-wide
+// sequences and queues the non-zero ones.
+func (c *PAC) decodeChunks(f flushedStream) {
+	nChunks := mem.BlocksPerPage / c.chunkBits
+	mask := uint64(1)<<uint(c.chunkBits) - 1
+	for ch := 0; ch < nChunks; ch++ {
+		bits := uint((f.bmap >> (uint(ch) * uint(c.chunkBits))) & mask)
+		if bits == 0 {
+			continue
+		}
+		item := chunkItem{
+			op:         f.op,
+			ppn:        f.ppn,
+			chunk:      ch,
+			bits:       bits,
+			flushEnter: f.enter,
+		}
+		lo, hi := ch*c.chunkBits, (ch+1)*c.chunkBits
+		for _, r := range f.reqs {
+			if b := int(mem.BlockID(r.Addr)); b >= lo && b < hi {
+				item.reqs = append(item.reqs, r)
+			}
+		}
+		c.storeQ = append(c.storeQ, item)
+	}
+}
+
+// flushStream sends stream i down the pipeline (or around it, when its C
+// bit is clear) and frees the slot.
+func (c *PAC) flushStream(i int) {
+	s := &c.streams[i]
+	if !s.valid {
+		return
+	}
+	if s.cBit() {
+		c.stage2 = append(c.stage2, flushedStream{
+			op:    s.op,
+			ppn:   s.tag &^ (1 << (mem.TagTBit - mem.PageShift)),
+			bmap:  s.bmap,
+			reqs:  s.reqs,
+			enter: c.now,
+		})
+	} else {
+		// Single-request streams skip stages 2-3 (C bit = 0).
+		r := s.reqs[0]
+		c.Stats.Bypassed++
+		c.bypassQ = append(c.bypassQ, mem.Coalesced{
+			ID:        c.nextID(),
+			Addr:      mem.BlockAlign(r.Addr),
+			Size:      mem.BlockSize,
+			Op:        s.op,
+			Parents:   []mem.Request{r},
+			Assembled: c.now,
+			Bypassed:  true,
+		})
+	}
+	*s = coalescingStream{}
+}
+
+// tickAggregator advances stage 1: timeout flushes, then intake of one
+// request per cycle from the input queues (the paper's single-cycle
+// parallel comparison).
+func (c *PAC) tickAggregator() {
+	// Timeout: streams older than the window are forced downstream so
+	// waiting raw requests have a bounded latency.
+	for i := range c.streams {
+		s := &c.streams[i]
+		if s.valid && c.now-s.first >= c.p.Timeout {
+			c.Stats.TimeoutFlushes++
+			c.flushStream(i)
+		}
+	}
+
+	r, ok := c.nextInput()
+	if !ok {
+		return
+	}
+
+	switch r.Op {
+	case mem.OpFence:
+		// A fence monopolises stage 1 and pushes all previous
+		// requests into stage 2 to preserve the boundary.
+		c.Stats.Fences++
+		for i := range c.streams {
+			if c.streams[i].valid {
+				c.Stats.FenceFlushes++
+				c.flushStream(i)
+			}
+		}
+		return
+	case mem.OpAtomic:
+		// Atomics are routed directly to the memory controller.
+		c.Stats.RawIn++
+		c.Stats.Atomics++
+		r.Issue = c.now
+		c.bypassQ = append(c.bypassQ, mem.Coalesced{
+			ID:        c.nextID(),
+			Addr:      mem.BlockAlign(r.Addr),
+			Size:      mem.BlockSize,
+			Op:        mem.OpAtomic,
+			Parents:   []mem.Request{r},
+			Assembled: c.now,
+			Bypassed:  true,
+		})
+		return
+	}
+
+	c.Stats.RawIn++
+	r.Issue = c.now
+	tag := mem.TaggedPPN(r.Addr, r.Op)
+
+	// Parallel comparison against every active stream (one comparator
+	// per stream; all fire simultaneously in one cycle). Alongside the
+	// hardware count we keep the Figure 7 sequential-scan models: the
+	// paged scan stops at the matching stream; the unpaged
+	// counterfactual scans buffered raw requests one by one.
+	match := -1
+	free := -1
+	oldest := -1
+	validSeen, bufferedSeen := int64(0), int64(0)
+	var pagedScan, unpagedScan int64
+	for i := range c.streams {
+		s := &c.streams[i]
+		if !s.valid {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		c.Stats.Comparisons++
+		validSeen++
+		if s.tag == tag && match < 0 {
+			match = i
+			pagedScan = validSeen
+			unpagedScan = bufferedSeen + 1
+		}
+		bufferedSeen += int64(len(s.reqs))
+		if oldest < 0 || s.first < c.streams[oldest].first {
+			oldest = i
+		}
+	}
+	if match < 0 {
+		pagedScan = validSeen
+		unpagedScan = bufferedSeen
+	}
+	c.Stats.PagedScans += pagedScan
+	c.Stats.UnpagedScans += unpagedScan
+
+	if match >= 0 {
+		s := &c.streams[match]
+		s.bmap |= 1 << mem.BlockID(r.Addr)
+		s.reqs = append(s.reqs, r)
+		return
+	}
+	if free < 0 {
+		// Stream pressure: evict the oldest stream to make room.
+		c.Stats.PressureFlushes++
+		c.flushStream(oldest)
+		free = oldest
+	}
+	c.streams[free] = coalescingStream{
+		valid: true,
+		tag:   tag,
+		op:    r.Op,
+		bmap:  1 << mem.BlockID(r.Addr),
+		first: c.now,
+		reqs:  []mem.Request{r},
+	}
+}
+
+// nextInput pops the next request, round-robin between the miss and
+// write-back queues so neither starves.
+func (c *PAC) nextInput() (mem.Request, bool) {
+	pop := func(q *[]mem.Request) (mem.Request, bool) {
+		if len(*q) == 0 {
+			return mem.Request{}, false
+		}
+		r := (*q)[0]
+		*q = (*q)[1:]
+		return r, true
+	}
+	if c.takeWB {
+		c.takeWB = false
+		if r, ok := pop(&c.wbQ); ok {
+			return r, true
+		}
+		return pop(&c.missQ)
+	}
+	c.takeWB = true
+	if r, ok := pop(&c.missQ); ok {
+		return r, true
+	}
+	return pop(&c.wbQ)
+}
+
+// sampleOccupancy records the number of valid coalescing streams once per
+// sampling interval, while the aggregator is active (paper Figure 11b:
+// "we accumulate the number of occupied coalescing streams every 16
+// cycles").
+func (c *PAC) sampleOccupancy() {
+	if c.now-c.lastSample < c.p.SampleInterval {
+		return
+	}
+	c.lastSample = c.now
+	n := 0
+	for i := range c.streams {
+		if c.streams[i].valid {
+			n++
+		}
+	}
+	if n > 0 {
+		c.Stats.Occupancy.Add(n)
+	}
+}
+
+// PopCount reports how many blocks are set in a stream's map; exposed for
+// white-box tests.
+func popCount(bmap uint64) int { return bits.OnesCount64(bmap) }

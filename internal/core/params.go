@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// DeviceProfile captures the 3D-stacked memory properties the PAC adapts
+// to (paper §4.1): the maximum coalesced request size bounds the chunk
+// width of the block-map decoder and the coalescing table.
+type DeviceProfile struct {
+	// Name identifies the profile in reports.
+	Name string
+	// MaxReqBytes is the device's maximum request packet payload
+	// (256B for HMC 2.1, 128B for HMC 1.0, 1KB row for HBM).
+	MaxReqBytes int
+}
+
+// MaxReqBlocks returns the maximum coalesced request size in cache blocks,
+// which is also the decoder chunk width in bits.
+func (d DeviceProfile) MaxReqBlocks() int { return d.MaxReqBytes / mem.BlockSize }
+
+// Predefined device profiles.
+var (
+	// HMC21 is Hybrid Memory Cube 2.1: 256B rows, closed page.
+	HMC21 = DeviceProfile{Name: "HMC-2.1", MaxReqBytes: 256}
+	// HMC10 is Hybrid Memory Cube 1.0 with a 128B maximum request.
+	HMC10 = DeviceProfile{Name: "HMC-1.0", MaxReqBytes: 128}
+	// HBM uses a 1KB row; PAC expands the block sequence to 16 bits
+	// (paper §4.1).
+	HBM = DeviceProfile{Name: "HBM", MaxReqBytes: 1024}
+)
+
+// Params configures a PAC instance. The zero value is not usable; start
+// from DefaultParams.
+type Params struct {
+	// Streams is the number of parallel coalescing streams (Table 1: 16).
+	Streams int
+	// Timeout is the stage-1 aggregation window in cycles (Table 1: 16).
+	// A stream older than this is flushed down the pipeline so raw
+	// requests have a bounded waiting latency (§3.3.1).
+	Timeout int64
+	// MAQDepth is the memory access queue capacity; the paper sets it
+	// equal to the number of MSHRs (16).
+	MAQDepth int
+	// InputQueueDepth bounds the miss and write-back queues feeding
+	// stage 1.
+	InputQueueDepth int
+	// Device selects the 3D-stacked memory profile.
+	Device DeviceProfile
+	// PadRuns selects the span-padding assembler ablation (see NewTable).
+	PadRuns bool
+	// SampleInterval is the stream-occupancy sampling period in cycles
+	// for the Figure 11b/11c statistics; 0 uses Timeout.
+	SampleInterval int64
+}
+
+// DefaultParams returns the paper's Table 1 PAC configuration on HMC 2.1.
+func DefaultParams() Params {
+	return Params{
+		Streams:         16,
+		Timeout:         16,
+		MAQDepth:        16,
+		InputQueueDepth: 32,
+		Device:          HMC21,
+	}
+}
+
+// validate panics on nonsensical configurations; these are programming
+// errors in experiment setup, not runtime conditions.
+func (p Params) validate() {
+	if p.Streams <= 0 {
+		panic(fmt.Sprintf("core: Streams = %d", p.Streams))
+	}
+	if p.Timeout <= 0 {
+		panic(fmt.Sprintf("core: Timeout = %d", p.Timeout))
+	}
+	if p.MAQDepth <= 0 {
+		panic(fmt.Sprintf("core: MAQDepth = %d", p.MAQDepth))
+	}
+	if p.InputQueueDepth <= 0 {
+		panic(fmt.Sprintf("core: InputQueueDepth = %d", p.InputQueueDepth))
+	}
+	if p.Device.MaxReqBlocks() < 1 {
+		panic(fmt.Sprintf("core: device %q max request below one block", p.Device.Name))
+	}
+}

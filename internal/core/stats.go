@@ -1,0 +1,87 @@
+package core
+
+import "github.com/pacsim/pac/internal/stats"
+
+// Stats accumulates everything the paper's evaluation section measures
+// about the coalescing network itself. The simulation driver combines
+// these with cache and HMC statistics to regenerate the figures.
+type Stats struct {
+	// RawIn counts access requests (loads, stores, atomics) accepted
+	// into stage 1 or routed around it.
+	RawIn int64
+	// Atomics counts requests routed directly to the memory controller
+	// without coalescing.
+	Atomics int64
+	// Fences counts fence operations consumed by stage 1.
+	Fences int64
+	// PacketsOut counts coalesced packets pushed into the MAQ.
+	PacketsOut int64
+	// Bypassed counts raw requests that skipped pipeline stages 2-3
+	// because their coalescing stream held a single request (C bit = 0);
+	// Figure 12c.
+	Bypassed int64
+	// TimeoutFlushes, FenceFlushes and PressureFlushes break down why
+	// streams left stage 1.
+	TimeoutFlushes, FenceFlushes, PressureFlushes int64
+	// Comparisons counts stage-1 comparator activations: each incoming
+	// request is compared against every active coalescing stream.
+	Comparisons int64
+	// PagedScans and UnpagedScans model the Figure 7 comparison-count
+	// experiment. Both count sequential associative-search steps with
+	// early exit on the first match. PagedScans searches the coalescing
+	// streams (one comparison covers a whole page); UnpagedScans is the
+	// counterfactual request-granular search a conventional (unpaged)
+	// sorting/coalescing unit would perform over every buffered raw
+	// request. Their ratio is the paper's "comparison reduction".
+	PagedScans, UnpagedScans int64
+	// MAQStallCycles counts cycles in which a ready packet could not
+	// enter the MAQ because it was full.
+	MAQStallCycles int64
+	// InputStalls counts Enqueue calls rejected because an input queue
+	// was full (the cache blocks).
+	InputStalls int64
+	// SizeHist is the distribution of emitted packet sizes in blocks
+	// (index = block count, 1..MaxReqBlocks).
+	SizeHist stats.Histogram
+	// Occupancy samples the number of valid coalescing streams every
+	// SampleInterval cycles while the aggregator is active
+	// (Figures 11b/11c).
+	Occupancy stats.Histogram
+	// Stage2Lat is the per-stream latency of the block-map decoder:
+	// flush to last chunk stored (Figure 12a).
+	Stage2Lat stats.Mean
+	// Stage3Lat is the per-packet latency of the request assembler:
+	// sequence-buffer entry to packet emission (Figure 12a).
+	Stage3Lat stats.Mean
+	// OverallLat is the per-raw-request latency through the whole PAC:
+	// stage-1 arrival to MAQ entry (Figure 12a).
+	OverallLat stats.Mean
+	// MAQFill measures the MAQ replenishment latency (Figure 12b):
+	// the cycles the coalescer needs to produce MAQDepth packets, the
+	// amount required to refill every MSHR. One sample per production
+	// window.
+	MAQFill stats.Mean
+}
+
+// CoalescingEfficiency returns the paper's Equation 1 metric — the
+// proportion of raw requests eliminated by coalescing — in percent.
+func (s *Stats) CoalescingEfficiency() float64 {
+	return stats.Pct(s.RawIn-s.PacketsOut, s.RawIn)
+}
+
+// BypassFraction returns the share of raw requests that bypassed stages
+// 2-3, in percent (Figure 12c).
+func (s *Stats) BypassFraction() float64 {
+	return stats.Pct(s.Bypassed, s.RawIn)
+}
+
+// AvgOccupancy returns the mean number of coalescing streams in use
+// (Figure 11c).
+func (s *Stats) AvgOccupancy() float64 { return s.Occupancy.Mean() }
+
+// ComparisonReduction returns the percentage of associative-search
+// comparisons eliminated by page-granular aggregation relative to the
+// request-granular counterfactual (Figure 7).
+func (s *Stats) ComparisonReduction() float64 {
+	return stats.Pct(s.UnpagedScans-s.PagedScans, s.UnpagedScans)
+}

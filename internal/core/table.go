@@ -1,0 +1,98 @@
+// Package core implements the paper's primary contribution: the Paged
+// Adaptive Coalescer (PAC) — a three-stage pipelined coalescing network
+// (paged request aggregator, block-map decoder, request assembler), the
+// memory access queue (MAQ), and the statistics the evaluation section is
+// built on.
+//
+// The pipeline is simulated at cycle granularity: the simulation driver
+// calls Tick once per core clock and pushes LLC misses / write-backs into
+// the input queues; coalesced packets come out of the MAQ.
+package core
+
+import "fmt"
+
+// Run is one contiguous group of set bits in a partitioned block sequence.
+// It corresponds to a single coalesced request of Len cache blocks starting
+// Off blocks into the chunk.
+type Run struct {
+	// Off is the first set block within the chunk (0-based).
+	Off int
+	// Len is the number of contiguous blocks.
+	Len int
+}
+
+// Table is the coalescing table of pipeline stage 3 (paper §3.3.3): a
+// lookup structure mapping every possible partitioned block-sequence
+// pattern to the coalesced request sizes it assembles into. For the HMC
+// profile the chunk width is 4 bits (max request 256B = 4 × 64B blocks),
+// giving the paper's 16-entry table.
+type Table struct {
+	width int
+	runs  [][]Run
+	pad   bool
+}
+
+// NewTable builds a coalescing table for the given chunk width (bits per
+// partitioned sequence). pad selects the span-padding ablation: instead of
+// one request per contiguous run, a single request covering the whole
+// first..last set-bit span is assembled (fetching any unused blocks in the
+// gap). The paper's design corresponds to pad=false.
+func NewTable(width int, pad bool) *Table {
+	if width < 1 || width > 16 {
+		panic(fmt.Sprintf("core: coalescing table width %d out of range [1,16]", width))
+	}
+	t := &Table{width: width, pad: pad, runs: make([][]Run, 1<<width)}
+	for p := 0; p < 1<<width; p++ {
+		t.runs[p] = decodeRuns(uint(p), width, pad)
+	}
+	return t
+}
+
+// decodeRuns computes the run decomposition of one pattern.
+func decodeRuns(pattern uint, width int, pad bool) []Run {
+	if pattern == 0 {
+		return nil
+	}
+	if pad {
+		first, last := -1, -1
+		for i := 0; i < width; i++ {
+			if pattern&(1<<i) != 0 {
+				if first < 0 {
+					first = i
+				}
+				last = i
+			}
+		}
+		return []Run{{Off: first, Len: last - first + 1}}
+	}
+	var runs []Run
+	i := 0
+	for i < width {
+		if pattern&(1<<i) == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < width && pattern&(1<<j) != 0 {
+			j++
+		}
+		runs = append(runs, Run{Off: i, Len: j - i})
+		i = j
+	}
+	return runs
+}
+
+// Width returns the chunk width in bits.
+func (t *Table) Width() int { return t.width }
+
+// Entries returns the number of table entries (2^width).
+func (t *Table) Entries() int { return len(t.runs) }
+
+// Lookup returns the run decomposition for a pattern. The returned slice
+// is shared and must not be modified.
+func (t *Table) Lookup(pattern uint) []Run {
+	if int(pattern) >= len(t.runs) {
+		panic(fmt.Sprintf("core: pattern %#x exceeds table width %d", pattern, t.width))
+	}
+	return t.runs[pattern]
+}

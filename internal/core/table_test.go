@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTablePanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%d) should panic", w)
+				}
+			}()
+			NewTable(w, false)
+		}()
+	}
+}
+
+func TestTableEntries(t *testing.T) {
+	tb := NewTable(4, false)
+	if tb.Entries() != 16 || tb.Width() != 4 {
+		t.Fatalf("HMC table = %d entries width %d, want 16/4", tb.Entries(), tb.Width())
+	}
+}
+
+func TestTableRunsHMC(t *testing.T) {
+	tb := NewTable(4, false)
+	cases := []struct {
+		pattern uint
+		want    []Run
+	}{
+		{0b0000, nil},
+		{0b0001, []Run{{0, 1}}},
+		{0b0110, []Run{{1, 2}}}, // the paper's Figure 5 example
+		{0b1111, []Run{{0, 4}}},
+		{0b1001, []Run{{0, 1}, {3, 1}}},
+		{0b1011, []Run{{0, 2}, {3, 1}}},
+		{0b1010, []Run{{1, 1}, {3, 1}}},
+		{0b1101, []Run{{0, 1}, {2, 2}}},
+	}
+	for _, c := range cases {
+		got := tb.Lookup(c.pattern)
+		if len(got) != len(c.want) {
+			t.Errorf("Lookup(%04b) = %v, want %v", c.pattern, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Lookup(%04b)[%d] = %v, want %v", c.pattern, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestTablePadMode(t *testing.T) {
+	tb := NewTable(4, true)
+	got := tb.Lookup(0b1001)
+	if len(got) != 1 || got[0] != (Run{0, 4}) {
+		t.Fatalf("pad Lookup(1001) = %v, want one spanning run", got)
+	}
+	got = tb.Lookup(0b0110)
+	if len(got) != 1 || got[0] != (Run{1, 2}) {
+		t.Fatalf("pad Lookup(0110) = %v", got)
+	}
+	if tb.Lookup(0) != nil {
+		t.Fatal("pad Lookup(0) should be empty")
+	}
+}
+
+func TestTableLookupOutOfRangePanics(t *testing.T) {
+	tb := NewTable(4, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup beyond width should panic")
+		}
+	}()
+	tb.Lookup(16)
+}
+
+// Property: for every pattern, the runs exactly cover the set bits, are
+// disjoint, ordered, and maximal (no two adjacent runs touch).
+func TestTableRunsProperty(t *testing.T) {
+	for _, width := range []int{4, 8, 16} {
+		tb := NewTable(width, false)
+		f := func(p uint) bool {
+			p &= uint(1)<<width - 1
+			runs := tb.Lookup(p)
+			var rebuilt uint
+			prevEnd := -1
+			for _, r := range runs {
+				if r.Len <= 0 || r.Off < 0 || r.Off+r.Len > width {
+					return false
+				}
+				if r.Off <= prevEnd {
+					return false // overlapping or touching previous run
+				}
+				for i := r.Off; i < r.Off+r.Len; i++ {
+					rebuilt |= 1 << i
+				}
+				prevEnd = r.Off + r.Len
+			}
+			return rebuilt == p
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %d: %v", width, err)
+		}
+	}
+}
+
+// Property: pad mode always returns at most one run, covering all set bits.
+func TestTablePadProperty(t *testing.T) {
+	tb := NewTable(8, true)
+	f := func(p uint) bool {
+		p &= 0xff
+		runs := tb.Lookup(p)
+		if p == 0 {
+			return len(runs) == 0
+		}
+		if len(runs) != 1 {
+			return false
+		}
+		r := runs[0]
+		var covered uint
+		for i := r.Off; i < r.Off+r.Len; i++ {
+			covered |= 1 << i
+		}
+		return p&^covered == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	if popCount(0b1011) != 3 || popCount(0) != 0 {
+		t.Error("popCount broken")
+	}
+}

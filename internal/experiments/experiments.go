@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§5). Each experiment is a named driver that runs
+// the simulator in the required configurations and renders the same rows
+// or series the paper reports; DESIGN.md §4 maps experiment IDs to paper
+// artefacts.
+//
+// Results within one Session are memoised, so running the whole suite
+// simulates each (benchmark, mode, variant) combination only once.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pacsim/pac/internal/cache"
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/report"
+	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+// Options control the scale of the experiment runs.
+type Options struct {
+	// Cores is the simulated core count (Table 1: 8).
+	Cores int
+	// AccessesPerCore is the trace length per core.
+	AccessesPerCore int
+	// Scale multiplies workload working-set sizes.
+	Scale float64
+	// Seed drives the workload generators.
+	Seed uint64
+	// L1Bytes / LLCBytes override the cache sizes (0 keeps Table 1's
+	// 16KB / 8MB); tests use small caches with small scales so the
+	// miss streams keep their structure.
+	L1Bytes, LLCBytes int
+}
+
+// DefaultOptions reproduces the paper's Table 1 configuration.
+func DefaultOptions() Options {
+	return Options{
+		Cores:           8,
+		AccessesPerCore: 100_000,
+		Scale:           1.0,
+		Seed:            42,
+	}
+}
+
+func (o Options) normalized() Options {
+	if o.Cores <= 0 {
+		o.Cores = 8
+	}
+	if o.AccessesPerCore <= 0 {
+		o.AccessesPerCore = 100_000
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// variant distinguishes simulator configurations beyond the mode.
+type variant string
+
+const (
+	// varDefault is the standard single-process run.
+	varDefault variant = ""
+	// varNoCtrl disables the network-controller bypass so that every
+	// raw request traverses the coalescing network; used by the
+	// PAC-internal measurements (Figures 7, 11b, 11c, 12a-c), which
+	// characterise the network itself under full load.
+	varNoCtrl variant = "noctrl"
+	// varMulti co-runs the benchmark with a partner process on half
+	// the cores each (Figure 6b).
+	varMulti variant = "multi"
+)
+
+// Session runs experiments with memoised simulation results.
+type Session struct {
+	opts    Options
+	results map[string]*sim.Result
+	// Progress, when set, receives a line per completed simulation.
+	Progress func(string)
+}
+
+// NewSession creates a session.
+func NewSession(opts Options) *Session {
+	return &Session{opts: opts.normalized(), results: make(map[string]*sim.Result)}
+}
+
+// Options returns the session's normalized options.
+func (s *Session) Options() Options { return s.opts }
+
+// simConfig builds the simulator configuration for one run.
+func (s *Session) simConfig(bench string, mode coalesce.Mode, v variant) sim.Config {
+	cfg := sim.DefaultConfig(bench, mode)
+	cfg.Seed = s.opts.Seed
+	cfg.Scale = s.opts.Scale
+	cfg.AccessesPerCore = s.opts.AccessesPerCore
+	cfg.Procs = []sim.ProcSpec{{Benchmark: bench, Cores: s.opts.Cores}}
+	if v == varMulti {
+		half := s.opts.Cores / 2
+		if half == 0 {
+			half = 1
+		}
+		cfg.Procs = []sim.ProcSpec{
+			{Benchmark: bench, Cores: half},
+			{Benchmark: partnerOf(bench), Cores: half},
+		}
+	}
+	if v == varNoCtrl {
+		cfg.DisableNetworkCtrl = true
+	}
+	if s.opts.L1Bytes > 0 || s.opts.LLCBytes > 0 {
+		h := cache.DefaultHierarchyConfig(totalCores(cfg.Procs))
+		if s.opts.L1Bytes > 0 {
+			h.L1.Size = s.opts.L1Bytes
+		}
+		if s.opts.LLCBytes > 0 {
+			h.LLC.Size = s.opts.LLCBytes
+		}
+		cfg.Hierarchy = h
+	}
+	return cfg
+}
+
+func totalCores(procs []sim.ProcSpec) int {
+	n := 0
+	for _, p := range procs {
+		n += p.Cores
+	}
+	return n
+}
+
+// partnerOf pairs each benchmark with the next one in the canonical list
+// for the multiprocessing experiment, mirroring the paper's co-run of
+// "different tests with diverse memory access patterns".
+func partnerOf(bench string) string {
+	names := workload.Names()
+	for i, n := range names {
+		if n == bench {
+			return names[(i+1)%len(names)]
+		}
+	}
+	return names[0]
+}
+
+// result runs (or recalls) one simulation.
+func (s *Session) result(bench string, mode coalesce.Mode, v variant) (*sim.Result, error) {
+	key := fmt.Sprintf("%s/%d/%s", bench, mode, v)
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	runner, err := sim.NewRunner(s.simConfig(bench, mode, v))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	s.results[key] = res
+	if s.Progress != nil {
+		s.Progress(fmt.Sprintf("ran %-10s %-9s %-6s cycles=%d", bench, mode, v, res.Cycles))
+	}
+	return res, nil
+}
+
+// Experiment is one regenerable paper artefact.
+type Experiment struct {
+	// ID is the short handle used by `pacsim -experiment`.
+	ID string
+	// Artefact names the paper table/figure.
+	Artefact string
+	// Desc is a one-line description.
+	Desc string
+	// Run produces the result tables.
+	Run func(*Session) ([]*report.Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// orderOf gives experiments their presentation order.
+func orderOf(id string) int {
+	order := []string{
+		"fig1", "fig2", "tab1", "fig6a", "fig6b", "fig6c", "fig7",
+		"fig8", "fig9", "fig10a", "fig10b", "fig10c",
+		"fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig12c",
+		"fig13", "fig14", "fig15",
+	}
+	for i, o := range order {
+		if o == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

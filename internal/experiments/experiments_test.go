@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// testOptions keeps experiment tests fast: 2 cores, short traces, caches
+// shrunk in proportion to the scaled working sets.
+func testOptions() Options {
+	return Options{
+		Cores:           2,
+		AccessesPerCore: 3_000,
+		Scale:           0.02,
+		Seed:            7,
+		L1Bytes:         2 << 10,
+		LLCBytes:        128 << 10,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(all))
+	}
+	want := []string{
+		"fig1", "fig2", "tab1", "fig6a", "fig6b", "fig6c", "fig7",
+		"fig8", "fig9", "fig10a", "fig10b", "fig10c",
+		"fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig12c",
+		"fig13", "fig14", "fig15", "baselines",
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Artefact == "" || e.Desc == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig6a"); !ok {
+		t.Fatal("fig6a not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+}
+
+// TestEveryExperimentRuns executes the complete suite at test scale and
+// checks each produces at least one non-empty table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	s := NewSession(testOptions())
+	for _, e := range All() {
+		tables, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s failed: %v", e.ID, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", e.ID)
+		}
+		for _, tbl := range tables {
+			if tbl.Rows() == 0 {
+				t.Errorf("%s: empty table %q", e.ID, tbl.Title)
+			}
+			if tbl.String() == "" {
+				t.Errorf("%s: table renders empty", e.ID)
+			}
+		}
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := NewSession(testOptions())
+	e, _ := ByID("fig6a")
+	tables, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	// Last row is the average; PAC must beat DMC on average.
+	last := tbl.Rows() - 1
+	if tbl.Cell(last, 0) != "AVERAGE" {
+		t.Fatalf("last row is %q, want AVERAGE", tbl.Cell(last, 0))
+	}
+	pac, dmc := tbl.Cell(last, 1), tbl.Cell(last, 2)
+	if !(pac > dmc) { // string comparison is fine for equal-width %.2f? No: parse.
+		var p, d float64
+		if _, err := fmtSscan(pac, &p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(dmc, &d); err != nil {
+			t.Fatal(err)
+		}
+		if p <= d {
+			t.Errorf("average PAC efficiency %.2f <= DMC %.2f", p, d)
+		}
+	}
+}
+
+// fmtSscan avoids importing fmt solely for tests readability.
+func fmtSscan(s string, v *float64) (int, error) {
+	return sscan(s, v)
+}
+
+func TestFig11aMatchesPaperConstants(t *testing.T) {
+	s := NewSession(testOptions())
+	e, _ := ByID("fig11a")
+	tables, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	// The N=64 row (last) must carry the paper's exact counts.
+	last := tbl.Rows() - 1
+	if tbl.Cell(last, 0) != "64" {
+		t.Fatalf("last row N = %s, want 64", tbl.Cell(last, 0))
+	}
+	for col, want := range map[int]string{1: "64", 2: "672", 3: "543"} {
+		if got := tbl.Cell(last, col); got != want {
+			t.Errorf("N=64 col %d = %s, want %s", col, got, want)
+		}
+	}
+}
+
+func TestSessionMemoisation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := NewSession(testOptions())
+	runs := 0
+	s.Progress = func(string) { runs++ }
+	e, _ := ByID("fig6a")
+	if _, err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	first := runs
+	if first == 0 {
+		t.Fatal("no simulations ran")
+	}
+	if _, err := e.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if runs != first {
+		t.Errorf("second run re-simulated: %d -> %d", first, runs)
+	}
+}
+
+func TestPartnerOf(t *testing.T) {
+	if partnerOf("STREAM") == "STREAM" {
+		t.Error("partner must differ from the benchmark")
+	}
+	if partnerOf("NOPE") == "" {
+		t.Error("unknown benchmark should fall back to a valid partner")
+	}
+}
+
+func TestCrossPageStatsSynthetic(t *testing.T) {
+	// Two adjacent blocks in one page: coalescable, not cross-page.
+	reqs := traceOf(0x1000, 0x1040)
+	coal, cross, total := crossPageStats(reqs, 16)
+	if total != 2 || coal != 2 || cross != 0 {
+		t.Errorf("same-page: coal=%d cross=%d total=%d", coal, cross, total)
+	}
+	// Last block of page and first of the next: cross-page adjacency.
+	reqs = traceOf(0x1fc0, 0x2000)
+	coal, cross, _ = crossPageStats(reqs, 16)
+	if coal != 2 || cross != 2 {
+		t.Errorf("cross-page: coal=%d cross=%d", coal, cross)
+	}
+	// Far apart: no adjacency.
+	reqs = traceOf(0x1000, 0x9000)
+	coal, cross, _ = crossPageStats(reqs, 16)
+	if coal != 0 || cross != 0 {
+		t.Errorf("disjoint: coal=%d cross=%d", coal, cross)
+	}
+}

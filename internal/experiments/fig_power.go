@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/hmc"
+	"github.com/pacsim/pac/internal/report"
+	"github.com/pacsim/pac/internal/stats"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig13",
+		Artefact: "Figure 13",
+		Desc:     "Energy savings per HMC operation class (paper: VAULT-RQST-SLOT 59.35%, LINK-LOCAL 61.39%, ...)",
+		Run:      runFig13,
+	})
+	register(Experiment{
+		ID:       "fig14",
+		Artefact: "Figure 14",
+		Desc:     "Overall energy savings (paper: PAC 59.21% vs MSHR-DMC 39.57%)",
+		Run:      runFig14,
+	})
+}
+
+func runFig13(s *Session) ([]*report.Table, error) {
+	// Accumulate per-category energy across the whole suite for the
+	// uncoalesced baseline and for PAC, then report relative savings.
+	baseSum := map[string]float64{}
+	pacSum := map[string]float64{}
+	for _, b := range workload.Names() {
+		base, err := s.result(b, coalesce.ModeNone, varDefault)
+		if err != nil {
+			return nil, err
+		}
+		pac, err := s.result(b, coalesce.ModePAC, varDefault)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range base.HMC.Energy.ByCategory() {
+			baseSum[k] += v
+		}
+		for k, v := range pac.HMC.Energy.ByCategory() {
+			pacSum[k] += v
+		}
+	}
+	t := report.NewTable("Figure 13: Energy Saving by HMC Operation",
+		"operation", "baseline (nJ)", "PAC (nJ)", "saving %")
+	t.Note = "paper: VAULT-RQST-SLOT 59.35%, VAULT-RSP-SLOT 48.75%, VAULT-CTRL 57.09%,\n" +
+		"LINK-LOCAL-ROUTE 61.39%, LINK-REMOTE-ROUTE 53.22%; summed over all benchmarks"
+	for _, cat := range hmc.EnergyCategories() {
+		t.AddRow(cat, baseSum[cat]/1000, pacSum[cat]/1000,
+			stats.Reduction(baseSum[cat], pacSum[cat]))
+	}
+	return []*report.Table{t}, nil
+}
+
+func runFig14(s *Session) ([]*report.Table, error) {
+	t := report.NewTable("Figure 14: Overall Energy Saving",
+		"benchmark", "PAC saving %", "MSHR-DMC saving %")
+	t.Note = "paper: PAC cuts 59.21% of 3D-stacked memory energy vs 39.57% for MSHR-DMC"
+	var pacAvg, dmcAvg stats.Mean
+	for _, b := range workload.Names() {
+		base, err := s.result(b, coalesce.ModeNone, varDefault)
+		if err != nil {
+			return nil, err
+		}
+		pac, err := s.result(b, coalesce.ModePAC, varDefault)
+		if err != nil {
+			return nil, err
+		}
+		dmc, err := s.result(b, coalesce.ModeDMC, varDefault)
+		if err != nil {
+			return nil, err
+		}
+		ps := stats.Reduction(base.HMC.Energy.Total(), pac.HMC.Energy.Total())
+		ds := stats.Reduction(base.HMC.Energy.Total(), dmc.HMC.Energy.Total())
+		pacAvg.Add(ps)
+		dmcAvg.Add(ds)
+		t.AddRow(b, ps, ds)
+	}
+	t.AddRow("AVERAGE", pacAvg.Value(), dmcAvg.Value())
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/report"
+	"github.com/pacsim/pac/internal/sortnet"
+	"github.com/pacsim/pac/internal/stats"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig11a",
+		Artefact: "Figure 11a",
+		Desc:     "Space overhead: PAC vs bitonic and odd-even merge sorting networks (paper: 64/672/543 comparators at N=64)",
+		Run:      runFig11a,
+	})
+	register(Experiment{
+		ID:       "fig11b",
+		Artefact: "Figure 11b",
+		Desc:     "Coalescing stream occupancy while running HPCG (paper: 77.57% of samples use 2-4 pages)",
+		Run:      runFig11b,
+	})
+	register(Experiment{
+		ID:       "fig11c",
+		Artefact: "Figure 11c",
+		Desc:     "Average coalescing stream utilisation (paper: 4.49 of 16 avg; BFS 9.99)",
+		Run:      runFig11c,
+	})
+}
+
+func runFig11a(*Session) ([]*report.Table, error) {
+	t := report.NewTable("Figure 11a: Space Overhead Comparison",
+		"N", "PAC comparators", "bitonic comparators", "odd-even comparators",
+		"PAC buffer (B)", "bitonic buffer (B)", "odd-even buffer (B)")
+	t.Note = "paper at N=64: comparators 64 / 672 / 543; buffers: PAC 384B at 16 streams,\n" +
+		"bitonic 2560B, odd-even 2016B"
+	for n := 4; n <= 64; n *= 2 {
+		t.AddRow(n,
+			sortnet.PACComparators(n),
+			sortnet.BitonicComparators(n),
+			sortnet.OddEvenComparators(n),
+			sortnet.PACBufferBytes(n),
+			sortnet.BitonicBufferBytes(n),
+			sortnet.OddEvenBufferBytes(n),
+		)
+	}
+	return []*report.Table{t}, nil
+}
+
+func runFig11b(s *Session) ([]*report.Table, error) {
+	pac, err := s.result("HPCG", coalesce.ModePAC, varNoCtrl)
+	if err != nil {
+		return nil, err
+	}
+	occ := pac.PAC.Occupancy
+	t := report.NewTable("Figure 11b: Coalescing Stream Occupancy (HPCG)",
+		"streams in use", "samples", "share %")
+	t.Note = "paper: 35.33% of samples use exactly 2 pages and 77.57% fall within 2-4;\n" +
+		"sampled every 16 cycles with the network controller disabled"
+	bins := occ.Bins()
+	for v := 1; v < len(bins); v++ {
+		if bins[v] == 0 {
+			continue
+		}
+		t.AddRow(v, bins[v], stats.Pct(bins[v], occ.N()))
+	}
+	span := int64(0)
+	for v := 2; v <= 4 && v < len(bins); v++ {
+		span += bins[v]
+	}
+	t.AddRow("2-4 total", span, stats.Pct(span, occ.N()))
+	return []*report.Table{t}, nil
+}
+
+func runFig11c(s *Session) ([]*report.Table, error) {
+	t := report.NewTable("Figure 11c: Average Coalescing Stream Utilisation",
+		"benchmark", "avg streams in use", "of configured")
+	t.Note = "paper: 4.49 of 16 streams used on average; BFS highest (9.99) because its\n" +
+		"sparse requests scatter across many pages"
+	var avg stats.Mean
+	for _, b := range workload.Names() {
+		pac, err := s.result(b, coalesce.ModePAC, varNoCtrl)
+		if err != nil {
+			return nil, err
+		}
+		u := pac.PAC.AvgOccupancy()
+		avg.Add(u)
+		t.AddRow(b, u, fmt.Sprintf("%d", 16))
+	}
+	t.AddRow("AVERAGE", avg.Value(), "")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// sscan parses one float.
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// traceOf builds a same-cycle trace of block-sized load requests.
+func traceOf(addrs ...uint64) []mem.Request {
+	reqs := make([]mem.Request, len(addrs))
+	for i, a := range addrs {
+		reqs[i] = mem.Request{ID: uint64(i + 1), Addr: a, Size: mem.BlockSize, Op: mem.OpLoad, Issue: 5}
+	}
+	return reqs
+}

@@ -1,0 +1,392 @@
+// Package hmc is an event-timed simulator of a Hybrid Memory Cube device,
+// standing in for HMC-Sim 3.0 in the paper's testbed (see DESIGN.md §1).
+//
+// It models the mechanisms the paper's evaluation measures:
+//
+//   - a packetized FLIT interface (16B FLITs) with 16B request and 16B
+//     response control overhead per transaction (32B per request total);
+//   - four SERDES links with round-robin dispatch and per-link
+//     serialization;
+//   - a crossbar that routes each request to its target vault, at a lower
+//     cost when the chosen link is physically adjacent to the vault's
+//     quadrant (local route) than when it must cross the die (remote);
+//   - 32 vaults x 16 banks with closed-page DRAM timing: every access
+//     opens and precharges its row, and a request arriving while its bank
+//     is cycling queues up — a bank conflict;
+//   - per-operation energy counters mirroring HMC-Sim's power taxonomy
+//     (VAULT-RQST-SLOT, VAULT-RSP-SLOT, VAULT-CTRL, LINK-LOCAL-ROUTE,
+//     LINK-REMOTE-ROUTE) plus DRAM array energy.
+//
+// Timing is computed at submit time (no preemption): Submit returns the
+// completion cycle and queues a Response retrievable with PopCompleted.
+package hmc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/stats"
+)
+
+// FlitBytes is the HMC flow-control unit size.
+const FlitBytes = 16
+
+// PagePolicy selects the DRAM row management policy.
+type PagePolicy int
+
+const (
+	// ClosedPage precharges the row after every access — the HMC
+	// policy (paper §2.2.2): with narrow 256B rows the row-buffer hit
+	// probability is too low to pay for keeping rows open.
+	ClosedPage PagePolicy = iota
+	// OpenPage leaves the row buffer open after each access, the
+	// DDR-style policy behind row-buffer-hit harvesting controllers
+	// (paper §2.2.1). Provided for the ablation that demonstrates why
+	// HMC abandoned it.
+	OpenPage
+)
+
+// String names the policy.
+func (p PagePolicy) String() string {
+	if p == OpenPage {
+		return "open-page"
+	}
+	return "closed-page"
+}
+
+// Config describes the simulated device. All timing is in CPU cycles
+// (Table 1: 2 GHz, so one cycle is 0.5 ns).
+type Config struct {
+	// Links is the number of SERDES links (Table 1: 4).
+	Links int
+	// Vaults is the number of vertical vaults (HMC 2.1: 32).
+	Vaults int
+	// BanksPerVault is the DRAM bank count per vault (16).
+	BanksPerVault int
+	// RowBytes is the DRAM row (block) size (Table 1: 256B).
+	RowBytes int
+	// MaxReqBytes is the maximum request payload (256B for HMC 2.1).
+	MaxReqBytes int
+	// LinkFlitCycles is the per-FLIT serialization time on a link.
+	LinkFlitCycles int64
+	// XbarLocalCycles and XbarRemoteCycles are the crossbar traversal
+	// times for quadrant-local and cross-die routes.
+	XbarLocalCycles, XbarRemoteCycles int64
+	// VaultCtrlCycles is the vault controller's fixed per-request
+	// processing time.
+	VaultCtrlCycles int64
+	// RowAccessCycles is the activate-to-data DRAM latency of one
+	// closed-page row access.
+	RowAccessCycles int64
+	// RowCycleCycles (tRC) is how long the bank stays busy per access
+	// (activate + access + precharge).
+	RowCycleCycles int64
+	// RowHitCycles is the access latency when the target row is
+	// already open (OpenPage only); 0 defaults to RowAccessCycles/2.
+	RowHitCycles int64
+	// Policy selects closed-page (HMC default) or open-page row
+	// management.
+	Policy PagePolicy
+}
+
+// DefaultConfig returns an 8GB HMC 2.1-like device matching Table 1, with
+// first-order timings chosen so the loaded average access latency lands
+// near the paper's 93 ns at 2 GHz.
+func DefaultConfig() Config {
+	return Config{
+		Links:            4,
+		Vaults:           32,
+		BanksPerVault:    16,
+		RowBytes:         256,
+		MaxReqBytes:      256,
+		LinkFlitCycles:   1,
+		XbarLocalCycles:  4,
+		XbarRemoteCycles: 12,
+		VaultCtrlCycles:  8,
+		RowAccessCycles:  90,
+		RowCycleCycles:   96,
+	}
+}
+
+// HBMConfig returns an HBM2-like device profile (paper §4.1): wider rows
+// (1KB), eight channels standing in for the SERDES links, and sixteen
+// pseudo-channel vaults. PAC drives it with 16-bit block sequences.
+func HBMConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Links = 8
+	cfg.Vaults = 16
+	cfg.RowBytes = 1024
+	cfg.MaxReqBytes = 1024
+	return cfg
+}
+
+func (c Config) validate() {
+	if c.Links <= 0 || c.Vaults <= 0 || c.BanksPerVault <= 0 {
+		panic(fmt.Sprintf("hmc: bad topology %+v", c))
+	}
+	if c.Vaults%c.Links != 0 {
+		panic("hmc: vaults must divide evenly into link quadrants")
+	}
+	if c.RowBytes < FlitBytes || c.MaxReqBytes > c.RowBytes {
+		panic("hmc: request size must fit within one row")
+	}
+}
+
+// Stats aggregates device-side measurements.
+type Stats struct {
+	// Requests counts submitted packets; Reads/Writes/Atomics break
+	// them down.
+	Requests, Reads, Writes, Atomics int64
+	// PayloadBytes is the data moved; ControlBytes is the 32B-per-
+	// request packet overhead (Figure 10a's transaction efficiency).
+	PayloadBytes, ControlBytes int64
+	// BankConflicts counts requests that found their bank cycling and
+	// had to wait (Figure 6c).
+	BankConflicts int64
+	// BankConflictCycles accumulates the waiting time behind busy banks.
+	BankConflictCycles int64
+	// RemoteRoutes and LocalRoutes split crossbar traversals.
+	RemoteRoutes, LocalRoutes int64
+	// RowActivations counts row activate/precharge cycles performed.
+	RowActivations int64
+	// RowHits counts open-page accesses that found their row open.
+	RowHits int64
+	// Latency tracks per-request submit-to-completion time in cycles.
+	Latency stats.Mean
+	// Energy is the per-category energy ledger.
+	Energy Energy
+}
+
+// TransactionEfficiency returns payload/(payload+control) in percent
+// (the paper's Equation 2).
+func (s *Stats) TransactionEfficiency() float64 {
+	return stats.Pct(s.PayloadBytes, s.PayloadBytes+s.ControlBytes)
+}
+
+// pending is a scheduled response.
+type pending struct {
+	resp mem.Response
+	at   int64
+}
+
+type pendingHeap []pending
+
+func (h pendingHeap) Len() int            { return len(h) }
+func (h pendingHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(pending)) }
+func (h *pendingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Device is one simulated HMC.
+type Device struct {
+	cfg Config
+	// Resource availability times, in cycles. Request and response
+	// lanes of a link are independent (HMC links are full duplex).
+	linkTxFree []int64 // per-link request-lane availability
+	linkRxFree []int64 // per-link response-lane availability
+	vaultFree  []int64 // per-vault controller availability
+	bankFree   []int64 // per (vault,bank) row-cycle availability
+	openRow    []int64 // per (vault,bank) open row number (OpenPage)
+	nextLink   int     // round-robin dispatch pointer
+
+	completed pendingHeap
+
+	// Stats holds the accumulated device measurements.
+	Stats Stats
+}
+
+// New constructs a device.
+func New(cfg Config) *Device {
+	cfg.validate()
+	if cfg.RowHitCycles <= 0 {
+		cfg.RowHitCycles = cfg.RowAccessCycles / 2
+	}
+	d := &Device{
+		cfg:        cfg,
+		linkTxFree: make([]int64, cfg.Links),
+		linkRxFree: make([]int64, cfg.Links),
+		vaultFree:  make([]int64, cfg.Vaults),
+		bankFree:   make([]int64, cfg.Vaults*cfg.BanksPerVault),
+		openRow:    make([]int64, cfg.Vaults*cfg.BanksPerVault),
+	}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// vaultOf returns the vault index for an address: rows are interleaved
+// across vaults first, then banks (the HMC default "low interleave" that
+// spreads sequential blocks across vaults).
+func (d *Device) vaultOf(addr uint64) int {
+	return int((addr / uint64(d.cfg.RowBytes)) % uint64(d.cfg.Vaults))
+}
+
+// bankOf returns the bank index within the vault.
+func (d *Device) bankOf(addr uint64) int {
+	return int((addr / uint64(d.cfg.RowBytes) / uint64(d.cfg.Vaults)) % uint64(d.cfg.BanksPerVault))
+}
+
+// flitsFor returns request and response FLIT counts for a packet: each
+// direction carries a 16B control header, and the payload travels with
+// the write request or the read response.
+func flitsFor(pkt mem.Coalesced) (req, resp int64) {
+	payload := int64((pkt.Size + FlitBytes - 1) / FlitBytes)
+	switch pkt.Op {
+	case mem.OpStore:
+		return 1 + payload, 1
+	case mem.OpAtomic:
+		// Atomics carry a small operand and return a small result.
+		return 2, 2
+	default: // loads
+		return 1, 1 + payload
+	}
+}
+
+// max returns the later of two cycle counts.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Submit accepts one coalesced packet at the given cycle and schedules its
+// response. It returns the completion cycle.
+func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
+	cfg := d.cfg
+	if int(pkt.Size) > cfg.MaxReqBytes {
+		panic(fmt.Sprintf("hmc: packet %v exceeds device max %dB", pkt, cfg.MaxReqBytes))
+	}
+	rowStart := pkt.Addr / uint64(cfg.RowBytes)
+	rowEnd := (pkt.Addr + uint64(pkt.Size) - 1) / uint64(cfg.RowBytes)
+	if rowStart != rowEnd {
+		panic(fmt.Sprintf("hmc: packet %v spans DRAM rows", pkt))
+	}
+
+	s := &d.Stats
+	s.Requests++
+	switch pkt.Op {
+	case mem.OpStore:
+		s.Writes++
+	case mem.OpAtomic:
+		s.Atomics++
+	default:
+		s.Reads++
+	}
+	s.PayloadBytes += int64(pkt.Size)
+	s.ControlBytes += 2 * FlitBytes // 16B request + 16B response header
+
+	reqFlits, respFlits := flitsFor(pkt)
+
+	// 1. Link: round-robin dispatch, serialize the request packet.
+	link := d.nextLink
+	d.nextLink = (d.nextLink + 1) % cfg.Links
+	start := max64(now, d.linkTxFree[link])
+	linkDone := start + reqFlits*cfg.LinkFlitCycles
+	d.linkTxFree[link] = linkDone
+
+	// 2. Crossbar: local when the link serves the vault's quadrant.
+	vault := d.vaultOf(pkt.Addr)
+	quadrant := vault / (cfg.Vaults / cfg.Links)
+	local := quadrant == link
+	xbar := cfg.XbarRemoteCycles
+	if local {
+		xbar = cfg.XbarLocalCycles
+		s.LocalRoutes++
+	} else {
+		s.RemoteRoutes++
+	}
+	atVault := linkDone + xbar
+
+	// 3. Vault controller: serialize per-vault processing. Time spent
+	// waiting here is "request slot" occupancy.
+	ctrlStart := max64(atVault, d.vaultFree[vault])
+	rqstSlotWait := ctrlStart - atVault
+	ctrlDone := ctrlStart + cfg.VaultCtrlCycles
+	d.vaultFree[vault] = ctrlDone
+
+	// 4. Bank. Arriving while the bank is still busy with a previous
+	// access is a bank conflict. Closed page: every access pays the
+	// full activate/access/precharge row cycle. Open page: a hit on
+	// the open row is fast; a miss pays precharge + activate and
+	// leaves the new row open.
+	bankIdx := vault*cfg.BanksPerVault + d.bankOf(pkt.Addr)
+	bankReady := d.bankFree[bankIdx]
+	accessStart := ctrlDone
+	if bankReady > accessStart {
+		s.BankConflicts++
+		s.BankConflictCycles += bankReady - accessStart
+		accessStart = bankReady
+	}
+	row := int64(rowStart)
+	var dataReady int64
+	rowHit := false
+	if cfg.Policy == OpenPage {
+		if d.openRow[bankIdx] == row {
+			rowHit = true
+			s.RowHits++
+			dataReady = accessStart + cfg.RowHitCycles
+			d.bankFree[bankIdx] = dataReady
+		} else {
+			s.RowActivations++
+			// Precharge the old row, activate the new one.
+			dataReady = accessStart + cfg.RowCycleCycles
+			d.bankFree[bankIdx] = dataReady
+			d.openRow[bankIdx] = row
+		}
+	} else {
+		s.RowActivations++
+		d.bankFree[bankIdx] = accessStart + cfg.RowCycleCycles
+		dataReady = accessStart + cfg.RowAccessCycles
+	}
+
+	// 5. Response: back through the crossbar and serialize on the same
+	// link's response lane. Waiting for the lane is "response slot"
+	// occupancy.
+	respStart := max64(dataReady+xbar, d.linkRxFree[link])
+	rspSlotWait := respStart - (dataReady + xbar)
+	done := respStart + respFlits*cfg.LinkFlitCycles
+	d.linkRxFree[link] = done
+
+	d.accountEnergy(pkt, reqFlits, respFlits, local, rqstSlotWait, rspSlotWait, rowHit)
+
+	s.Latency.Add(float64(done - now))
+	heap.Push(&d.completed, pending{
+		resp: mem.Response{ID: pkt.ID, Done: done, BankConflict: bankReady > ctrlDone},
+		at:   done,
+	})
+	return done
+}
+
+// PopCompleted returns all responses whose completion cycle is <= now, in
+// completion order.
+func (d *Device) PopCompleted(now int64) []mem.Response {
+	var out []mem.Response
+	for d.completed.Len() > 0 && d.completed[0].at <= now {
+		out = append(out, heap.Pop(&d.completed).(pending).resp)
+	}
+	return out
+}
+
+// Outstanding returns the number of in-flight requests.
+func (d *Device) Outstanding() int { return d.completed.Len() }
+
+// NextCompletion returns the earliest pending completion cycle, or ok =
+// false when nothing is in flight.
+func (d *Device) NextCompletion() (int64, bool) {
+	if d.completed.Len() == 0 {
+		return 0, false
+	}
+	return d.completed[0].at, true
+}

@@ -1,0 +1,105 @@
+package hmc
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func openPageConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Policy = OpenPage
+	return cfg
+}
+
+func TestPagePolicyString(t *testing.T) {
+	if ClosedPage.String() != "closed-page" || OpenPage.String() != "open-page" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestOpenPageRowHit(t *testing.T) {
+	d := New(openPageConfig())
+	first := d.Submit(pkt(1, 0x1000, 64, mem.OpLoad), 0)
+	// Second access to the same 256B row after the first completes:
+	// must be a row hit with shorter bank latency and no activation.
+	second := d.Submit(pkt(2, 0x1040, 64, mem.OpLoad), first)
+	if d.Stats.RowHits != 1 {
+		t.Fatalf("RowHits = %d, want 1", d.Stats.RowHits)
+	}
+	if d.Stats.RowActivations != 1 {
+		t.Fatalf("RowActivations = %d, want 1 (only the miss)", d.Stats.RowActivations)
+	}
+	if second-first >= first {
+		t.Errorf("row hit latency %d not shorter than miss %d", second-first, first)
+	}
+}
+
+func TestOpenPageRowMissSwitchesRow(t *testing.T) {
+	d := New(openPageConfig())
+	done := d.Submit(pkt(1, 0x0000, 64, mem.OpLoad), 0)
+	// Same bank, different row: rows on the same (vault,bank) are
+	// RowBytes*Vaults*Banks apart.
+	cfg := d.Config()
+	stride := uint64(cfg.RowBytes * cfg.Vaults * cfg.BanksPerVault)
+	d.Submit(pkt(2, stride, 64, mem.OpLoad), done)
+	if d.Stats.RowHits != 0 {
+		t.Fatalf("row switch counted as hit")
+	}
+	if d.Stats.RowActivations != 2 {
+		t.Fatalf("RowActivations = %d, want 2", d.Stats.RowActivations)
+	}
+	// The previously open row is now closed; re-access re-activates.
+	d.Submit(pkt(3, 0x0000, 64, mem.OpLoad), done*3)
+	if d.Stats.RowActivations != 3 {
+		t.Fatalf("RowActivations = %d, want 3", d.Stats.RowActivations)
+	}
+}
+
+func TestClosedPageNeverHits(t *testing.T) {
+	d := New(DefaultConfig())
+	done := d.Submit(pkt(1, 0x1000, 64, mem.OpLoad), 0)
+	d.Submit(pkt(2, 0x1040, 64, mem.OpLoad), done)
+	if d.Stats.RowHits != 0 {
+		t.Fatalf("closed page produced row hits")
+	}
+	if d.Stats.RowActivations != 2 {
+		t.Fatalf("RowActivations = %d, want 2", d.Stats.RowActivations)
+	}
+}
+
+func TestRowHitSavesEnergy(t *testing.T) {
+	open := New(openPageConfig())
+	done := open.Submit(pkt(1, 0x1000, 64, mem.OpLoad), 0)
+	open.Submit(pkt(2, 0x1040, 64, mem.OpLoad), done)
+
+	closed := New(DefaultConfig())
+	done = closed.Submit(pkt(1, 0x1000, 64, mem.OpLoad), 0)
+	closed.Submit(pkt(2, 0x1040, 64, mem.OpLoad), done)
+
+	if open.Stats.Energy.DRAM >= closed.Stats.Energy.DRAM {
+		t.Errorf("open-page row hit did not save DRAM energy: %.0f vs %.0f",
+			open.Stats.Energy.DRAM, closed.Stats.Energy.DRAM)
+	}
+}
+
+// TestOpenPageHitRateLowOnScatteredTraffic demonstrates the paper's
+// §2.2.2 argument: with narrow 256B rows, scattered traffic almost never
+// hits the open row, so the open-page policy buys nothing.
+func TestOpenPageHitRateLowOnScatteredTraffic(t *testing.T) {
+	d := New(openPageConfig())
+	r := uint64(88172645463325252)
+	var now int64
+	for i := uint64(0); i < 4000; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		addr := (r % (1 << 30)) &^ 63
+		now += 3
+		d.Submit(pkt(i+1, addr, 64, mem.OpLoad), now)
+	}
+	hitRate := float64(d.Stats.RowHits) / float64(d.Stats.Requests)
+	if hitRate > 0.05 {
+		t.Errorf("scattered traffic row-hit rate %.3f, expected near zero", hitRate)
+	}
+}

@@ -1,0 +1,90 @@
+package hmc
+
+import "github.com/pacsim/pac/internal/mem"
+
+// Energy is the per-category energy ledger of the device, in picojoules.
+// The categories mirror the HMC-Sim counters the paper reports in
+// Figure 13. The absolute per-event constants below are first-order
+// estimates (documented in DESIGN.md §1); the evaluation uses only the
+// *relative* savings between coalesced and uncoalesced runs, which depend
+// on event counts, not on the absolute constants.
+type Energy struct {
+	// LinkLocalRoute is SERDES energy for requests routed to a vault in
+	// the dispatching link's own quadrant.
+	LinkLocalRoute float64
+	// LinkRemoteRoute is SERDES + crossbar crossing energy for requests
+	// routed to a remote quadrant.
+	LinkRemoteRoute float64
+	// VaultRqstSlot is the cost of holding valid packets in vault
+	// request queue slots (proportional to occupancy cycles).
+	VaultRqstSlot float64
+	// VaultRspSlot is the same for response slots awaiting the link.
+	VaultRspSlot float64
+	// VaultCtrl is vault controller processing energy.
+	VaultCtrl float64
+	// DRAM is array energy: row activation/precharge plus data transfer.
+	DRAM float64
+}
+
+// Per-event energy constants (pJ). Routing a request through the link
+// and crossbar has a large per-packet component (arbitration, header
+// processing, the "multiple internal queuing states" of paper §2.1.2),
+// which is why coalescing — fewer packets for the same payload — saves
+// link energy.
+const (
+	eRouteLocal  = 140.0 // per-request routing to a quadrant-local vault
+	eRouteRemote = 380.0 // per-request routing across the die
+	eFlitLocal   = 4.0   // link serialization per FLIT, local route
+	eFlitRemote  = 9.0   // per FLIT crossing to a remote quadrant
+	eSlotCycle   = 1.5   // holding one packet in a vault slot for a cycle
+	eSlotBase    = 4.0   // minimum slot cost per packet per direction
+	eVaultCtrl   = 55.0  // controller processing per request
+	eRowActivate = 160.0
+	eDRAMFlit    = 6.0 // array data transfer per payload FLIT
+)
+
+// Total returns the summed energy across categories.
+func (e *Energy) Total() float64 {
+	return e.LinkLocalRoute + e.LinkRemoteRoute + e.VaultRqstSlot +
+		e.VaultRspSlot + e.VaultCtrl + e.DRAM
+}
+
+// Categories returns the Figure 13 category names in presentation order.
+func EnergyCategories() []string {
+	return []string{
+		"VAULT-RQST-SLOT", "VAULT-RSP-SLOT", "VAULT-CTRL",
+		"LINK-LOCAL-ROUTE", "LINK-REMOTE-ROUTE", "DRAM",
+	}
+}
+
+// ByCategory returns the ledger keyed by EnergyCategories names.
+func (e *Energy) ByCategory() map[string]float64 {
+	return map[string]float64{
+		"VAULT-RQST-SLOT":   e.VaultRqstSlot,
+		"VAULT-RSP-SLOT":    e.VaultRspSlot,
+		"VAULT-CTRL":        e.VaultCtrl,
+		"LINK-LOCAL-ROUTE":  e.LinkLocalRoute,
+		"LINK-REMOTE-ROUTE": e.LinkRemoteRoute,
+		"DRAM":              e.DRAM,
+	}
+}
+
+// accountEnergy charges one request's events to the ledger. rowHit skips
+// the activation energy (open-page row-buffer hit).
+func (d *Device) accountEnergy(pkt mem.Coalesced, reqFlits, respFlits int64, local bool, rqstWait, rspWait int64, rowHit bool) {
+	e := &d.Stats.Energy
+	flits := float64(reqFlits + respFlits)
+	if local {
+		e.LinkLocalRoute += eRouteLocal + flits*eFlitLocal
+	} else {
+		e.LinkRemoteRoute += eRouteRemote + flits*eFlitRemote
+	}
+	e.VaultRqstSlot += eSlotBase + float64(rqstWait)*eSlotCycle
+	e.VaultRspSlot += eSlotBase + float64(rspWait)*eSlotCycle
+	e.VaultCtrl += eVaultCtrl
+	payloadFlits := float64((pkt.Size + FlitBytes - 1) / FlitBytes)
+	if !rowHit {
+		e.DRAM += eRowActivate
+	}
+	e.DRAM += payloadFlits * eDRAMFlit
+}

@@ -1,0 +1,113 @@
+package hmc
+
+// Property-based tests of the device model's structural invariants.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// TestLatencyNonNegativeAndOrdered: completions never precede submission,
+// and responses pop in completion order.
+func TestLatencyNonNegativeAndOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(DefaultConfig())
+		now := int64(0)
+		for i := 0; i < 100; i++ {
+			now += int64(rng.Intn(20))
+			size := uint32(64) << rng.Intn(3)
+			addr := (uint64(rng.Int63()) % (1 << 32)) &^ uint64(255) // row aligned
+			done := d.Submit(mem.Coalesced{
+				ID:   uint64(i + 1),
+				Addr: addr,
+				Size: size,
+				Op:   mem.Op(rng.Intn(2)),
+			}, now)
+			if done <= now {
+				return false
+			}
+		}
+		var last int64 = -1
+		for _, r := range d.PopCompleted(1 << 40) {
+			if r.Done < last {
+				return false
+			}
+			last = r.Done
+		}
+		return d.Outstanding() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVaultBankDecodeStable: the address decomposition covers all vaults
+// and banks and is consistent with the row interleave.
+func TestVaultBankDecodeStable(t *testing.T) {
+	d := New(DefaultConfig())
+	cfg := d.Config()
+	seenVaults := map[int]bool{}
+	seenBanks := map[int]bool{}
+	for row := uint64(0); row < uint64(cfg.Vaults*cfg.BanksPerVault*2); row++ {
+		addr := row * uint64(cfg.RowBytes)
+		v, b := d.vaultOf(addr), d.bankOf(addr)
+		if v < 0 || v >= cfg.Vaults || b < 0 || b >= cfg.BanksPerVault {
+			t.Fatalf("decode out of range: vault %d bank %d", v, b)
+		}
+		seenVaults[v] = true
+		seenBanks[b] = true
+		// All addresses within one row share the decode.
+		if d.vaultOf(addr+uint64(cfg.RowBytes)-1) != v || d.bankOf(addr+uint64(cfg.RowBytes)-1) != b {
+			t.Fatalf("row 0x%x not decode-stable", row)
+		}
+	}
+	if len(seenVaults) != cfg.Vaults || len(seenBanks) != cfg.BanksPerVault {
+		t.Fatalf("interleave does not cover the device: %d vaults, %d banks",
+			len(seenVaults), len(seenBanks))
+	}
+}
+
+// TestEnergyMonotoneInRequests: adding a request never decreases any
+// energy category.
+func TestEnergyMonotoneInRequests(t *testing.T) {
+	d := New(DefaultConfig())
+	prev := d.Stats.Energy
+	for i := uint64(0); i < 200; i++ {
+		d.Submit(mem.Coalesced{ID: i + 1, Addr: i * 0x100, Size: 64, Op: mem.OpLoad}, int64(i))
+		e := d.Stats.Energy
+		if e.Total() < prev.Total() ||
+			e.DRAM < prev.DRAM ||
+			e.VaultCtrl < prev.VaultCtrl ||
+			e.VaultRqstSlot < prev.VaultRqstSlot ||
+			e.VaultRspSlot < prev.VaultRspSlot ||
+			e.LinkLocalRoute+e.LinkRemoteRoute < prev.LinkLocalRoute+prev.LinkRemoteRoute {
+			t.Fatalf("energy decreased at request %d", i)
+		}
+		prev = e
+	}
+}
+
+// TestThroughputBounded: the device cannot complete requests faster than
+// its link serialization allows.
+func TestThroughputBounded(t *testing.T) {
+	d := New(DefaultConfig())
+	cfg := d.Config()
+	const n = 1000
+	var last int64
+	for i := uint64(0); i < n; i++ {
+		done := d.Submit(mem.Coalesced{ID: i + 1, Addr: i * 0x100, Size: 64, Op: mem.OpLoad}, 0)
+		if done > last {
+			last = done
+		}
+	}
+	// 64B read: 1 request flit + 5 response flits; the response lanes
+	// of all links together serialize at Links per LinkFlitCycles.
+	minCycles := int64(n) * 5 * cfg.LinkFlitCycles / int64(cfg.Links)
+	if last < minCycles {
+		t.Fatalf("completed %d requests in %d cycles; link bound is %d", n, last, minCycles)
+	}
+}

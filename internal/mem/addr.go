@@ -1,0 +1,83 @@
+package mem
+
+// Physical address geometry. The simulated machine follows the paper's
+// Table 1 configuration: 4KB pages, 64B cache blocks, 52-bit physical
+// addresses (x86-64 style), and an 8GB HMC 2.1 device with 256B DRAM rows.
+const (
+	// PageSize is the physical page size in bytes.
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// BlockSize is the cache-block (line) size in bytes.
+	BlockSize = 64
+	// BlockShift is log2(BlockSize).
+	BlockShift = 6
+	// BlocksPerPage is the number of cache blocks in one physical page.
+	// With 4KB pages and 64B blocks this is 64, which is why a 64-bit
+	// block-map suffices to record every block of a page (paper §3.3.1).
+	BlocksPerPage = PageSize / BlockSize
+	// PhysAddrBits is the number of usable physical address bits.
+	// Bits 52 and 53 are repurposed by the PAC aggregator for the type
+	// (T) and coalescing (C) tag bits.
+	PhysAddrBits = 52
+	// PhysAddrMask masks an address down to the usable physical bits.
+	PhysAddrMask = (uint64(1) << PhysAddrBits) - 1
+	// TagTBit is the bit position holding the request-type tag during
+	// aggregation (paper Figure 4: bit 52).
+	TagTBit = 52
+	// TagCBit is the bit position holding the coalescing tag (bit 53).
+	TagCBit = 53
+)
+
+// PPN returns the physical page number of an address.
+func PPN(addr uint64) uint64 { return (addr & PhysAddrMask) >> PageShift }
+
+// PageOff returns the byte offset of an address within its page.
+func PageOff(addr uint64) uint64 { return addr & (PageSize - 1) }
+
+// BlockID returns the index (0..63) of the cache block within its page.
+// This is the "block ID derived from the least significant 12 bits" of
+// paper §3.3.1.
+func BlockID(addr uint64) uint { return uint(PageOff(addr) >> BlockShift) }
+
+// BlockNumber returns the global cache-block number of an address
+// (addr / BlockSize), the unit adaptive MSHR entries are keyed on.
+func BlockNumber(addr uint64) uint64 { return (addr & PhysAddrMask) >> BlockShift }
+
+// BlockAlign rounds an address down to its cache-block boundary.
+func BlockAlign(addr uint64) uint64 { return addr &^ uint64(BlockSize-1) }
+
+// PageAlign rounds an address down to its page boundary.
+func PageAlign(addr uint64) uint64 { return addr &^ uint64(PageSize-1) }
+
+// PageBase returns the first byte address of page ppn.
+func PageBase(ppn uint64) uint64 { return ppn << PageShift }
+
+// BlockAddr returns the address of block blk (0..63) within page ppn.
+func BlockAddr(ppn uint64, blk uint) uint64 {
+	return PageBase(ppn) | uint64(blk)<<BlockShift
+}
+
+// TaggedPPN packs the physical page number together with the request-type
+// bit the way the PAC aggregator's hardware comparators see it: the T bit
+// (load=0, store=1) occupies bit 52, directly above the physical address.
+// Because of this packing, "the physical page numbers of store requests are
+// uniformly greater than the addresses of all the load requests" (paper
+// §3.3.1) and a single comparison covers both type and page.
+func TaggedPPN(addr uint64, op Op) uint64 {
+	t := uint64(0)
+	if op == OpStore {
+		t = 1
+	}
+	return PPN(addr) | t<<(TagTBit-PageShift)
+}
+
+// SpansPages reports whether the byte range [addr, addr+size) crosses a
+// physical page boundary. The workload generators use this to measure the
+// cross-page coalescing opportunity of Figure 2.
+func SpansPages(addr uint64, size uint32) bool {
+	if size == 0 {
+		return false
+	}
+	return PPN(addr) != PPN(addr+uint64(size)-1)
+}

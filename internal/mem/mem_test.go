@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{OpLoad, "LD"},
+		{OpStore, "ST"},
+		{OpAtomic, "AMO"},
+		{OpFence, "FENCE"},
+		{Op(42), "Op(42)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op(%d).String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpIsAccess(t *testing.T) {
+	for _, op := range []Op{OpLoad, OpStore, OpAtomic} {
+		if !op.IsAccess() {
+			t.Errorf("%v.IsAccess() = false, want true", op)
+		}
+	}
+	if OpFence.IsAccess() {
+		t.Error("OpFence.IsAccess() = true, want false")
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if BlocksPerPage != 64 {
+		t.Fatalf("BlocksPerPage = %d, want 64", BlocksPerPage)
+	}
+	if 1<<PageShift != PageSize {
+		t.Fatalf("PageShift inconsistent with PageSize")
+	}
+	if 1<<BlockShift != BlockSize {
+		t.Fatalf("BlockShift inconsistent with BlockSize")
+	}
+}
+
+func TestPPNAndOffsets(t *testing.T) {
+	cases := []struct {
+		addr    uint64
+		ppn     uint64
+		off     uint64
+		blockID uint
+	}{
+		{0x0, 0x0, 0, 0},
+		{0x1000, 0x1, 0, 0},
+		{0x1040, 0x1, 0x40, 1},
+		{0x9fff, 0x9, 0xfff, 63},
+		{0x12345678, 0x12345, 0x678, 25},
+	}
+	for _, c := range cases {
+		if got := PPN(c.addr); got != c.ppn {
+			t.Errorf("PPN(0x%x) = 0x%x, want 0x%x", c.addr, got, c.ppn)
+		}
+		if got := PageOff(c.addr); got != c.off {
+			t.Errorf("PageOff(0x%x) = 0x%x, want 0x%x", c.addr, got, c.off)
+		}
+		if got := BlockID(c.addr); got != c.blockID {
+			t.Errorf("BlockID(0x%x) = %d, want %d", c.addr, got, c.blockID)
+		}
+	}
+}
+
+func TestPPNMasksHighBits(t *testing.T) {
+	// Tag bits above bit 51 must not leak into the PPN.
+	addr := uint64(1)<<TagCBit | uint64(1)<<TagTBit | 0x1234000
+	if got, want := PPN(addr), uint64(0x1234); got != want {
+		t.Errorf("PPN with tag bits = 0x%x, want 0x%x", got, want)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if got := BlockAlign(0x1041); got != 0x1040 {
+		t.Errorf("BlockAlign(0x1041) = 0x%x, want 0x1040", got)
+	}
+	if got := PageAlign(0x1fff); got != 0x1000 {
+		t.Errorf("PageAlign(0x1fff) = 0x%x, want 0x1000", got)
+	}
+	if got := BlockAddr(0x9, 1); got != 0x9040 {
+		t.Errorf("BlockAddr(0x9, 1) = 0x%x, want 0x9040", got)
+	}
+}
+
+func TestBlockNumber(t *testing.T) {
+	if got := BlockNumber(0x1040); got != 0x41 {
+		t.Errorf("BlockNumber(0x1040) = 0x%x, want 0x41", got)
+	}
+}
+
+func TestTaggedPPNOrdersStoresAboveLoads(t *testing.T) {
+	// Property from paper §3.3.1: tagged PPNs of stores compare greater
+	// than tagged PPNs of any load, for any pair of addresses.
+	f := func(a, b uint64) bool {
+		return TaggedPPN(a, OpStore) > TaggedPPN(b, OpLoad)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaggedPPNSamePageSameOpEqual(t *testing.T) {
+	base := uint64(0x7f321000)
+	for off := uint64(0); off < PageSize; off += 64 {
+		if TaggedPPN(base, OpLoad) != TaggedPPN(base+off, OpLoad) {
+			t.Fatalf("TaggedPPN differs within one page at offset 0x%x", off)
+		}
+	}
+	if TaggedPPN(base, OpLoad) == TaggedPPN(base, OpStore) {
+		t.Error("TaggedPPN load == store for same address; T bit not applied")
+	}
+}
+
+func TestSpansPages(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		size uint32
+		want bool
+	}{
+		{0x1000, 64, false},
+		{0x1fc0, 64, false},   // last block of page, exactly fits
+		{0x1fc1, 64, true},    // crosses into next page
+		{0x1fff, 2, true},     // tiny straddle
+		{0x1fff, 1, false},    // last byte of page
+		{0x2000, 0, false},    // zero size never spans
+		{0x1000, 4096, false}, // exactly one page
+		{0x1000, 4097, true},
+	}
+	for _, c := range cases {
+		if got := SpansPages(c.addr, c.size); got != c.want {
+			t.Errorf("SpansPages(0x%x, %d) = %v, want %v", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestRequestOverlaps(t *testing.T) {
+	a := Request{Addr: 0x100, Size: 8}
+	cases := []struct {
+		b    Request
+		want bool
+	}{
+		{Request{Addr: 0x100, Size: 8}, true},
+		{Request{Addr: 0x104, Size: 8}, true},
+		{Request{Addr: 0x108, Size: 8}, false}, // adjacent, no overlap
+		{Request{Addr: 0xf8, Size: 8}, false},
+		{Request{Addr: 0xf8, Size: 9}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCoalescedBlocks(t *testing.T) {
+	for _, c := range []struct {
+		size uint32
+		want int
+	}{{64, 1}, {128, 2}, {192, 3}, {256, 4}} {
+		pkt := Coalesced{Size: c.size}
+		if got := pkt.Blocks(); got != c.want {
+			t.Errorf("Coalesced{Size:%d}.Blocks() = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	r := Request{ID: 7, Op: OpStore, Addr: 0x9040, Size: 8, Core: 3}
+	if got := r.String(); got != "#7 ST 0x9040+8 core3" {
+		t.Errorf("Request.String() = %q", got)
+	}
+	c := Coalesced{ID: 9, Op: OpLoad, Addr: 0x9000, Size: 128, Parents: make([]Request, 2)}
+	if got := c.String(); got != "coal#9 LD 0x9000+128 (2 raw)" {
+		t.Errorf("Coalesced.String() = %q", got)
+	}
+}
+
+// Property: BlockAddr and (PPN, BlockID) are inverses on block-aligned
+// addresses within the physical address space.
+func TestBlockAddrRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		addr := BlockAlign(raw & PhysAddrMask)
+		return BlockAddr(PPN(addr), BlockID(addr)) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package mem defines the memory-request model shared by every layer of the
+// simulator: raw CPU accesses, cache-line refills flushed from the last-level
+// cache, and the coalesced packets ultimately dispatched to the 3D-stacked
+// memory device.
+//
+// Terminology follows the PAC paper (HPDC'20): a "raw request" is a cache
+// miss or write-back leaving the LLC at cache-block (64B) granularity, and a
+// "coalesced request" is the adaptive-size packet (64B..256B for HMC 2.1)
+// produced by a coalescer.
+package mem
+
+import "fmt"
+
+// Op is the memory operation carried by a request.
+type Op uint8
+
+const (
+	// OpLoad is a read. Encoded as T=0 in the PAC type bit and OP=0 in
+	// the adaptive MSHRs.
+	OpLoad Op = iota
+	// OpStore is a write (T=1 / OP=1).
+	OpStore
+	// OpAtomic is an atomic read-modify-write. Atomics are never
+	// coalesced; they are routed directly to the memory controller to
+	// preserve atomicity (paper §3.3.1).
+	OpAtomic
+	// OpFence is a memory fence. A fence monopolises stage 1 of the
+	// coalescing pipeline and forces all previously aggregated requests
+	// into stage 2, preserving the fence boundary.
+	OpFence
+)
+
+// String returns the conventional short mnemonic for the operation.
+func (o Op) String() string {
+	switch o {
+	case OpLoad:
+		return "LD"
+	case OpStore:
+		return "ST"
+	case OpAtomic:
+		return "AMO"
+	case OpFence:
+		return "FENCE"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// IsAccess reports whether the operation actually moves data (load, store,
+// or atomic), as opposed to an ordering-only fence.
+func (o Op) IsAccess() bool { return o != OpFence }
+
+// Request is a single memory access at any granularity.
+//
+// The CPU front end issues requests of 1..8 bytes; the cache hierarchy
+// converts misses into 64B block requests; coalescers merge those into
+// larger packets. A Request is a value type and is copied freely.
+type Request struct {
+	// ID is a unique, monotonically increasing identifier assigned at
+	// creation. It is used to correlate responses with outstanding
+	// misses and to keep simulation output deterministic.
+	ID uint64
+	// Addr is the physical byte address of the access.
+	Addr uint64
+	// Size is the access size in bytes.
+	Size uint32
+	// Op is the operation type.
+	Op Op
+	// Core is the index of the issuing hardware core. Coalescers are
+	// shared across cores (paper §3.1), so provenance is retained only
+	// for statistics.
+	Core int
+	// Proc is the index of the issuing process (0 in single-process
+	// runs). Distinct processes touch distinct page frames, which is
+	// what degrades MSHR-based coalescing in Figure 6b.
+	Proc int
+	// Issue is the simulation cycle at which the request entered the
+	// current pipeline stage; layers update it as the request moves.
+	Issue int64
+	// Prefetch marks a hardware-prefetcher request rather than a
+	// demand miss; prefetches complete without unblocking any core.
+	Prefetch bool
+}
+
+// String formats the request compactly for logs and test failures.
+func (r Request) String() string {
+	return fmt.Sprintf("#%d %s 0x%x+%d core%d", r.ID, r.Op, r.Addr, r.Size, r.Core)
+}
+
+// End returns the first byte address past the request.
+func (r Request) End() uint64 { return r.Addr + uint64(r.Size) }
+
+// Overlaps reports whether two requests touch at least one common byte.
+func (r Request) Overlaps(o Request) bool {
+	return r.Addr < o.End() && o.Addr < r.End()
+}
+
+// Coalesced is an adaptive-size packet produced by a coalescer and destined
+// for the memory device. Its size is always a multiple of the cache-block
+// size and bounded by the device's maximum request size (256B for HMC 2.1).
+type Coalesced struct {
+	// ID is a fresh identifier for the coalesced packet.
+	ID uint64
+	// Addr is the block-aligned start address.
+	Addr uint64
+	// Size is the total payload size in bytes (64, 128, 192, or 256 for
+	// the HMC profile).
+	Size uint32
+	// Op is the shared operation of all merged requests; loads and
+	// stores are never mixed (paper §3.1.3).
+	Op Op
+	// Parents are the raw requests satisfied by this packet, in arrival
+	// order. Used to release MSHR subentries when the response returns.
+	Parents []Request
+	// Assembled is the cycle the request assembler emitted the packet.
+	Assembled int64
+	// Bypassed records that the packet skipped pipeline stages 2-3
+	// because its coalescing stream held a single request (C bit = 0).
+	Bypassed bool
+}
+
+// Blocks returns the number of cache blocks covered by the packet.
+func (c Coalesced) Blocks() int { return int(c.Size) / BlockSize }
+
+// String formats the packet compactly.
+func (c Coalesced) String() string {
+	return fmt.Sprintf("coal#%d %s 0x%x+%d (%d raw)", c.ID, c.Op, c.Addr, c.Size, len(c.Parents))
+}
+
+// Response signals completion of a coalesced packet by the memory device.
+type Response struct {
+	// ID echoes the Coalesced.ID being answered.
+	ID uint64
+	// Done is the cycle at which the device finished servicing the
+	// request and the response packet arrived back at the host.
+	Done int64
+	// BankConflict reports whether the access found its target bank
+	// busy and had to queue (used for Figure 6c statistics).
+	BankConflict bool
+}

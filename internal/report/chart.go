@@ -1,0 +1,85 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chart renders one numeric column of a table as a horizontal ASCII bar
+// chart — enough to eyeball the per-benchmark shape of a figure in a
+// terminal without plotting tools.
+type Chart struct {
+	// Title is printed above the chart.
+	Title string
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	rows  []chartRow
+}
+
+type chartRow struct {
+	label string
+	value float64
+}
+
+// NewChart creates an empty chart.
+func NewChart(title string) *Chart { return &Chart{Title: title, Width: 50} }
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) { c.rows = append(c.rows, chartRow{label, value}) }
+
+// FromTable builds a chart from a table column (by index). Rows whose
+// cell does not parse as a number (e.g. blank average cells) are skipped.
+func FromTable(t *Table, labelCol, valueCol int) *Chart {
+	c := NewChart(t.Title)
+	for i := 0; i < t.Rows(); i++ {
+		v, err := strconv.ParseFloat(t.Cell(i, valueCol), 64)
+		if err != nil {
+			continue
+		}
+		c.Add(t.Cell(i, labelCol), v)
+	}
+	return c
+}
+
+// WriteText renders the chart.
+func (c *Chart) WriteText(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	labelW := 0
+	max := 0.0
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+		if r.value > max {
+			max = r.value
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, r := range c.rows {
+		n := 0
+		if max > 0 && r.value > 0 {
+			n = int(r.value/max*float64(width) + 0.5)
+		}
+		if r.value > 0 && n == 0 {
+			n = 1 // visible sliver for small positive values
+		}
+		fmt.Fprintf(&b, "%-*s |%s %0.2f\n", labelW, r.label, strings.Repeat("#", n), r.value)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the chart as text.
+func (c *Chart) String() string {
+	var b strings.Builder
+	_ = c.WriteText(&b)
+	return b.String()
+}

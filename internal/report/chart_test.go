@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	c := NewChart("demo")
+	c.Add("GS", 26.06)
+	c.Add("BFS", 2.0)
+	c.Add("ZERO", 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected title + 3 bars, got %d lines:\n%s", len(lines), out)
+	}
+	gs, bfs, zero := lines[1], lines[2], lines[3]
+	if strings.Count(gs, "#") <= strings.Count(bfs, "#") {
+		t.Errorf("larger value should have longer bar:\n%s", out)
+	}
+	if strings.Count(bfs, "#") == 0 {
+		t.Errorf("small positive value should render a sliver:\n%s", out)
+	}
+	if strings.Count(zero, "#") != 0 {
+		t.Errorf("zero value should have no bar:\n%s", out)
+	}
+	if !strings.Contains(gs, "26.06") {
+		t.Errorf("value missing from bar line: %s", gs)
+	}
+}
+
+func TestChartMaxWidthRespected(t *testing.T) {
+	c := NewChart("")
+	c.Width = 10
+	c.Add("a", 100)
+	out := c.String()
+	if strings.Count(out, "#") != 10 {
+		t.Errorf("max bar should be exactly Width: %q", out)
+	}
+}
+
+func TestFromTableSkipsNonNumeric(t *testing.T) {
+	tbl := NewTable("Figure X", "bench", "value")
+	tbl.AddRow("GS", 26.1)
+	tbl.AddRow("BFS", 2.0)
+	tbl.AddRow("AVERAGE", "") // blank: skipped
+	c := FromTable(tbl, 0, 1)
+	if len(c.rows) != 2 {
+		t.Fatalf("expected 2 chart rows, got %d", len(c.rows))
+	}
+	if c.Title != "Figure X" {
+		t.Errorf("title not carried over: %q", c.Title)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("empty")
+	if out := c.String(); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart should still print title: %q", out)
+	}
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Demo", "bench", "value")
+	t.AddRow("GS", 26.061)
+	t.AddRow("BFS", 2)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	tbl := sample()
+	tbl.Note = "a note"
+	out := tbl.String()
+	for _, want := range []string{"== Demo ==", "a note", "bench", "GS", "26.06", "BFS", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, note, header, sep, 2 rows
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	tbl := NewTable("", "a", "long-header")
+	tbl.AddRow("xxxxxxxxxx", 1)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and separator misaligned:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("x", "name", "v")
+	tbl.AddRow("with,comma", 1.5)
+	tbl.AddRow(`with"quote`, 2)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma",1.50`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "name,v\n") {
+		t.Errorf("missing header row: %s", out)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tbl := sample()
+	if tbl.Rows() != 2 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	if tbl.Cell(0, 0) != "GS" || tbl.Cell(1, 1) != "2" {
+		t.Errorf("Cell values wrong: %q %q", tbl.Cell(0, 0), tbl.Cell(1, 1))
+	}
+	h := tbl.Headers()
+	h[0] = "mutated"
+	if tbl.Headers()[0] != "bench" {
+		t.Error("Headers must return a copy")
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+// Robustness: randomised configurations must run to completion without
+// wedging, and results must serialise cleanly to JSON (the pacsim -json
+// output path).
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"github.com/pacsim/pac/internal/cache"
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+func TestRandomConfigsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised sweep is slow")
+	}
+	rng := rand.New(rand.NewSource(99))
+	names := workload.Names()
+	modes := []coalesce.Mode{
+		coalesce.ModeNone, coalesce.ModeDMC, coalesce.ModePAC,
+		coalesce.ModeSortNet, coalesce.ModeRowBuf,
+	}
+	for i := 0; i < 25; i++ {
+		bench := names[rng.Intn(len(names))]
+		mode := modes[rng.Intn(len(modes))]
+		cfg := DefaultConfig(bench, mode)
+		cfg.Procs = []ProcSpec{{Benchmark: bench, Cores: 1 + rng.Intn(3)}}
+		cfg.Seed = uint64(rng.Int63())
+		cfg.Scale = 0.01 + rng.Float64()*0.03
+		cfg.AccessesPerCore = 500 + rng.Intn(2000)
+		cfg.MSHRs = 4 << rng.Intn(3)
+		cfg.PAC.Streams = 4 << rng.Intn(3)
+		cfg.PAC.Timeout = int64(4 << rng.Intn(4))
+		cfg.PAC.MAQDepth = 4 << rng.Intn(3)
+		cfg.MaxOutstandingLoads = 1 + rng.Intn(4)
+		cfg.IssueInterval = 1 + rng.Intn(8)
+		cfg.DisableNetworkCtrl = rng.Intn(2) == 0
+		cfg.Virtualize = rng.Intn(3) == 0
+		cfg.Hierarchy = cache.HierarchyConfig{
+			Cores: totalCoresOf(cfg.Procs),
+			L1:    cache.Config{Size: 1 << (10 + rng.Intn(2)), Ways: 2 << rng.Intn(2)},
+			LLC:   cache.Config{Size: 64 << (10 + rng.Intn(2)), Ways: 8},
+		}
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatalf("config %d (%s/%v): %v", i, bench, mode, err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("config %d (%s/%v) wedged: %v", i, bench, mode, err)
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("config %d: no progress", i)
+		}
+		if e := res.CoalescingEfficiency(); e < 0 || e > 100 {
+			t.Fatalf("config %d: efficiency %.2f out of range", i, e)
+		}
+	}
+}
+
+func totalCoresOf(procs []ProcSpec) int {
+	n := 0
+	for _, p := range procs {
+		n += p.Cores
+	}
+	return n
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := run(t, smallConfig("GS", coalesce.ModePAC))
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Cycles != res.Cycles || back.RawRequests != res.RawRequests ||
+		back.MemPackets != res.MemPackets {
+		t.Errorf("scalar fields lost: %+v", back)
+	}
+	if back.LoadLatency.N() != res.LoadLatency.N() ||
+		back.LoadLatency.Value() != res.LoadLatency.Value() {
+		t.Errorf("LoadLatency lost: %v vs %v", back.LoadLatency.Value(), res.LoadLatency.Value())
+	}
+	if back.HMC.Energy.Total() != res.HMC.Energy.Total() {
+		t.Errorf("energy lost: %v vs %v", back.HMC.Energy.Total(), res.HMC.Energy.Total())
+	}
+	if back.PAC == nil || back.PAC.RawIn != res.PAC.RawIn {
+		t.Error("PAC stats lost")
+	}
+	if back.CoalescingEfficiency() != res.CoalescingEfficiency() {
+		t.Error("derived metrics differ after round trip")
+	}
+}
+
+func TestLatencyPercentilesAndBandwidth(t *testing.T) {
+	res := run(t, smallConfig("GS", coalesce.ModePAC))
+	p50 := res.LoadLatencyPercentileNS(0.5)
+	p99 := res.LoadLatencyPercentileNS(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("percentiles implausible: P50=%.1f P99=%.1f", p50, p99)
+	}
+	avg := res.AvgLoadLatencyNS()
+	if p50 > avg*3 {
+		t.Errorf("P50 %.1f wildly above mean %.1f", p50, avg)
+	}
+	if bw := res.AvgBandwidthGBs(); bw <= 0 || bw > 400 {
+		t.Errorf("bandwidth %.2f GB/s implausible", bw)
+	}
+}

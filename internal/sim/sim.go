@@ -1,0 +1,625 @@
+// Package sim wires the simulated machine together and runs it: workload
+// generators issue per-core accesses into the cache hierarchy; LLC misses
+// and write-backs flow through the configured coalescing layer (PAC,
+// MSHR-based DMC, or the non-aggregating baseline) into the MSHR file and
+// on to the HMC device; responses release MSHRs and unblock cores.
+//
+// The driver is a deterministic cycle loop. One run produces a Result
+// carrying every statistic the experiment harness needs.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac/internal/cache"
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/core"
+	"github.com/pacsim/pac/internal/hmc"
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/mshr"
+	"github.com/pacsim/pac/internal/prefetch"
+	"github.com/pacsim/pac/internal/vm"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+// CPUFreqGHz is the simulated core clock (Table 1: 2 GHz); one cycle is
+// 0.5 ns.
+const CPUFreqGHz = 2.0
+
+// CyclesToNS converts cycles at the Table 1 clock to nanoseconds.
+func CyclesToNS(c float64) float64 { return c / CPUFreqGHz }
+
+// ProcSpec assigns one process a benchmark and a number of cores
+// (multiprocessing mode, Figure 6b).
+type ProcSpec struct {
+	// Benchmark is a workload name from workload.Names.
+	Benchmark string
+	// Cores is how many cores this process occupies.
+	Cores int
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Procs lists the processes to co-run. A single-process run has
+	// one entry with all cores.
+	Procs []ProcSpec
+	// Generators, when non-nil, overrides the benchmark generators
+	// (one per process) — used to replay recorded traces or drive
+	// custom access streams. Procs still assigns core counts; the
+	// Benchmark names become labels only.
+	Generators []workload.Generator
+	// Seed drives the workload generators.
+	Seed uint64
+	// Scale multiplies workload working-set sizes (see workload.Config).
+	Scale float64
+	// AccessesPerCore is the trace length each core issues.
+	AccessesPerCore int
+	// Mode selects the coalescing configuration.
+	Mode coalesce.Mode
+	// PAC parameterises the coalescer when Mode is ModePAC; its
+	// InputQueueDepth is also used for the baselines' input queue.
+	PAC core.Params
+	// MSHRs is the MSHR file size (Table 1: 16).
+	MSHRs int
+	// MaxSubentries bounds raw misses per MSHR entry.
+	MaxSubentries int
+	// MaxOutstandingLoads bounds each core's demand fills in flight
+	// (loads, store fills, atomics); at the limit the core stalls.
+	// Small values model the in-order embedded RISC-V cores of the
+	// paper's testbed.
+	MaxOutstandingLoads int
+	// PrefetchThrottle suppresses prefetch issue while the device has
+	// at least this many requests in flight, so prefetching fills
+	// spare bandwidth instead of adding to congestion. 0 defaults
+	// to 24.
+	PrefetchThrottle int
+	// IssueInterval is the number of cycles between successive memory
+	// accesses of one core, modelling the non-memory instructions of
+	// the benchmark's inner loop (the paper's Spike traces interleave
+	// ALU work between accesses). 0 defaults to 8.
+	IssueInterval int
+	// Prefetch configures the LLC stride prefetcher. The zero value
+	// enables the default prefetcher; set Prefetch.Degree < 0 to
+	// disable it entirely.
+	Prefetch prefetch.Config
+	// Hierarchy configures the caches; zero value uses Table 1 defaults.
+	Hierarchy cache.HierarchyConfig
+	// HMC configures the memory device; zero value uses defaults.
+	HMC hmc.Config
+	// DisableNetworkCtrl turns off the paper's network-controller
+	// optimisation (raw requests bypass an idle PAC straight into the
+	// MSHRs); for ablation studies.
+	DisableNetworkCtrl bool
+	// Virtualize routes every CPU access through a per-process page
+	// table that scatters virtual pages over pseudo-random physical
+	// frames — the consolidation/fragmentation effect the paper's
+	// introduction cites. Within-page adjacency survives translation,
+	// which is what keeps page-granular coalescing effective.
+	Virtualize bool
+	// TraceSink, when set, observes every LLC-level request (misses,
+	// write-backs, atomics) with its issue cycle; used by the trace
+	// analyses of Figures 2, 8 and 9.
+	TraceSink func(mem.Request)
+	// MaxCycles aborts a wedged simulation; 0 means a generous bound
+	// derived from the trace length.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the paper's Table 1 machine running one benchmark
+// on all 8 cores.
+func DefaultConfig(benchmark string, mode coalesce.Mode) Config {
+	return Config{
+		Procs:               []ProcSpec{{Benchmark: benchmark, Cores: 8}},
+		Seed:                1,
+		Scale:               1.0,
+		AccessesPerCore:     100_000,
+		Mode:                mode,
+		PAC:                 core.DefaultParams(),
+		MSHRs:               16,
+		MaxSubentries:       8,
+		MaxOutstandingLoads: 2,
+		IssueInterval:       8,
+	}
+}
+
+func (c *Config) normalize() error {
+	if len(c.Procs) == 0 {
+		return fmt.Errorf("sim: no processes configured")
+	}
+	total := 0
+	for _, p := range c.Procs {
+		if p.Cores <= 0 {
+			return fmt.Errorf("sim: process %q has %d cores", p.Benchmark, p.Cores)
+		}
+		total += p.Cores
+	}
+	if c.AccessesPerCore <= 0 {
+		return fmt.Errorf("sim: AccessesPerCore = %d", c.AccessesPerCore)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("sim: MSHRs = %d", c.MSHRs)
+	}
+	if c.MaxOutstandingLoads <= 0 {
+		c.MaxOutstandingLoads = 2
+	}
+	if c.PrefetchThrottle <= 0 {
+		c.PrefetchThrottle = 24
+	}
+	if c.IssueInterval <= 0 {
+		c.IssueInterval = 8
+	}
+	if c.Prefetch.Degree == 0 && !c.Prefetch.Enabled {
+		c.Prefetch = prefetch.DefaultConfig()
+	}
+	if c.Prefetch.Degree < 0 {
+		c.Prefetch.Enabled = false
+		c.Prefetch.Degree = 1
+	}
+	if c.PAC.Streams == 0 {
+		c.PAC = core.DefaultParams()
+	}
+	if c.Hierarchy.Cores == 0 {
+		c.Hierarchy = cache.DefaultHierarchyConfig(total)
+	} else if c.Hierarchy.Cores != total {
+		return fmt.Errorf("sim: hierarchy cores %d != total cores %d", c.Hierarchy.Cores, total)
+	}
+	if c.HMC.Links == 0 {
+		c.HMC = hmc.DefaultConfig()
+		if c.PAC.Device.MaxReqBytes > c.HMC.MaxReqBytes {
+			// A wider coalescing target (e.g. the HBM profile)
+			// needs the matching device.
+			c.HMC = hmc.HBMConfig()
+		}
+	}
+	if c.PAC.Device.MaxReqBytes > c.HMC.MaxReqBytes {
+		return fmt.Errorf("sim: coalescer targets %dB requests but the device accepts at most %dB",
+			c.PAC.Device.MaxReqBytes, c.HMC.MaxReqBytes)
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = int64(c.AccessesPerCore)*400 + 1_000_000
+	}
+	return nil
+}
+
+// outReq is an LLC-level request parked on a core while the coalescer
+// input queues are full.
+type outReq struct {
+	req mem.Request
+	wb  bool
+}
+
+// coreState tracks one core's progress through its trace.
+type coreState struct {
+	proc     int
+	localIdx int // core index within its process
+	issued   int
+	done     bool
+	// pending is a trace access stalled before reaching the hierarchy
+	// (outstanding-load limit, or a fence awaiting queue space).
+	pending *workload.Access
+	// pendingOut are hierarchy outputs awaiting coalescer queue space.
+	pendingOut []outReq
+	// outstanding holds in-flight load/atomic request IDs; at the
+	// limit the core stalls.
+	outstanding map[uint64]struct{}
+	// nextIssue is the earliest cycle the core may issue its next
+	// trace access (IssueInterval pacing).
+	nextIssue int64
+}
+
+// blocked reports whether the core still has queued work it must place
+// before issuing new accesses.
+func (c *coreState) blocked() bool { return len(c.pendingOut) > 0 || c.pending != nil }
+
+// Runner executes one configured simulation.
+type Runner struct {
+	cfg    Config
+	gens   []workload.Generator
+	hier   *cache.Hierarchy
+	pf     *prefetch.Prefetcher
+	spaces []*vm.AddressSpace // per-process page tables (Virtualize)
+	pipe   coalesce.Pipeline
+	pac    *core.PAC // nil unless Mode == ModePAC
+	file   *mshr.File
+	dev    *hmc.Device
+
+	cores  []coreState
+	now    int64
+	nextID uint64
+
+	res Result
+}
+
+// NewRunner validates the configuration and builds the machine.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg}
+	ids := func() uint64 { r.nextID++; return r.nextID }
+
+	if cfg.Generators != nil && len(cfg.Generators) != len(cfg.Procs) {
+		return nil, fmt.Errorf("sim: %d generators for %d processes", len(cfg.Generators), len(cfg.Procs))
+	}
+	for p, spec := range cfg.Procs {
+		var g workload.Generator
+		if cfg.Generators != nil {
+			g = cfg.Generators[p]
+		} else {
+			var err error
+			g, err = workload.New(spec.Benchmark, workload.Config{
+				Cores: spec.Cores,
+				Seed:  cfg.Seed,
+				Proc:  p,
+				Scale: cfg.Scale,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		r.gens = append(r.gens, g)
+		for i := 0; i < spec.Cores; i++ {
+			r.cores = append(r.cores, coreState{
+				proc:        p,
+				localIdx:    i,
+				outstanding: make(map[uint64]struct{}),
+				// Stagger core start-up so identical per-core
+				// loops do not issue in lock-step bursts.
+				nextIssue: int64(len(r.cores)) * 29,
+			})
+		}
+	}
+
+	r.hier = cache.NewHierarchy(cfg.Hierarchy)
+	r.pf = prefetch.New(cfg.Prefetch, len(r.cores))
+	if cfg.Virtualize {
+		for p := range cfg.Procs {
+			r.spaces = append(r.spaces, vm.New(p, cfg.Seed, 0))
+		}
+	}
+	switch cfg.Mode {
+	case coalesce.ModePAC:
+		r.pac = core.New(cfg.PAC, ids)
+		r.pipe = coalesce.PACAdapter{PAC: r.pac}
+	case coalesce.ModeSortNet:
+		r.pipe = coalesce.NewSortingCoalescer(cfg.PAC.Streams, cfg.PAC.Timeout,
+			cfg.PAC.Device.MaxReqBlocks(), ids)
+	case coalesce.ModeRowBuf:
+		r.pipe = coalesce.NewRowBufferCoalescer(cfg.HMC.RowBytes, cfg.PAC.Streams,
+			cfg.PAC.Timeout, ids)
+	default:
+		r.pipe = coalesce.NewPassthrough(cfg.PAC.InputQueueDepth, ids)
+	}
+	r.file = mshr.New(mshr.Config{
+		Entries:       cfg.MSHRs,
+		MaxSubentries: cfg.MaxSubentries,
+		Adaptive:      cfg.Mode.AdaptiveMSHR(),
+		MaxBlocks:     cfg.PAC.Device.MaxReqBlocks(),
+	})
+	r.dev = hmc.New(cfg.HMC)
+
+	r.res.Mode = cfg.Mode
+	r.res.Benchmarks = make([]string, len(cfg.Procs))
+	for i, p := range cfg.Procs {
+		r.res.Benchmarks[i] = p.Benchmark
+	}
+	return r, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func (r *Runner) Run() (*Result, error) {
+	for !r.finished() {
+		if r.now >= r.cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d (packets=%d, free MSHRs=%d, pipeline drained=%v)",
+				r.cfg.MaxCycles, r.res.MemPackets, r.file.Available(), r.pipe.Drained())
+		}
+		r.step()
+	}
+	r.collect()
+	return &r.res, nil
+}
+
+// finished reports whether every core completed its trace and the memory
+// system fully drained.
+func (r *Runner) finished() bool {
+	for i := range r.cores {
+		c := &r.cores[i]
+		if !c.done || len(c.outstanding) > 0 || c.blocked() {
+			return false
+		}
+	}
+	return r.pipe.Drained() && r.file.Available() == r.file.Size() && r.dev.Outstanding() == 0
+}
+
+// step advances the machine one cycle.
+func (r *Runner) step() {
+	r.now++
+
+	// 1. Memory responses: release MSHRs, unblock cores.
+	for _, resp := range r.dev.PopCompleted(r.now) {
+		entry, ok := r.file.FindByPacket(resp.ID)
+		if !ok {
+			panic(fmt.Sprintf("sim: response for unknown packet %d", resp.ID))
+		}
+		e := r.file.Entry(entry)
+		base, blocks := e.Base(), e.Blocks()
+		for _, sub := range r.file.Release(entry) {
+			r.completeRaw(sub.Req)
+		}
+		// The filled blocks are no longer in flight in the LLC.
+		for b := 0; b < blocks; b++ {
+			r.hier.FillDone(base + uint64(b))
+		}
+	}
+
+	// 2. MSHR intake: move packets from the coalescer output into the
+	// MSHR file, merging when the mode allows; new entries dispatch to
+	// the device immediately.
+	r.dispatch()
+
+	// 3. Core issue: each core feeds the cache hierarchy.
+	for i := range r.cores {
+		r.issueCore(i)
+	}
+
+	// 4. Advance the coalescing pipeline.
+	r.pipe.Tick()
+}
+
+// dispatch moves up to one packet per cycle from the coalescer output
+// into the MSHR file and the device.
+func (r *Runner) dispatch() {
+	if r.pipe.OutLen() == 0 {
+		return
+	}
+	pkt, _ := r.pipe.Pop()
+	if !r.admit(pkt) {
+		r.holdback(pkt) // MSHRs full: keep the packet at the head
+	}
+}
+
+// admit merges or allocates a packet; returns false when no MSHR is free.
+func (r *Runner) admit(pkt mem.Coalesced) bool {
+	if r.cfg.Mode.MergesInMSHR() {
+		if _, ok := r.file.TryMerge(pkt); ok {
+			r.res.MSHRMergedRaw += int64(len(pkt.Parents))
+			return true
+		}
+	}
+	if _, ok := r.file.Allocate(pkt); !ok {
+		return false
+	}
+	r.res.MemPackets++
+	r.dev.Submit(pkt, r.now)
+	return true
+}
+
+// holdback re-queues a packet that could not be admitted, preserving
+// order at the head of the output queue.
+func (r *Runner) holdback(pkt mem.Coalesced) {
+	p, ok := r.pipe.(interface{ PushFront(mem.Coalesced) })
+	if !ok {
+		panic("sim: pipeline cannot hold back packets")
+	}
+	p.PushFront(pkt)
+}
+
+// completeRaw finishes one raw LLC request: loads and atomics release
+// their core's outstanding slot.
+func (r *Runner) completeRaw(req mem.Request) {
+	if req.Op == mem.OpLoad || req.Op == mem.OpAtomic {
+		c := &r.cores[req.Core]
+		delete(c.outstanding, req.ID)
+		lat := r.now - req.Issue
+		r.res.LoadLatency.Add(float64(lat))
+		r.res.LoadLatencyHist.Add(int(lat / 10))
+	}
+}
+
+// issueCore lets core i make progress: place parked output requests,
+// retry a stalled access, or issue the next trace access.
+func (r *Runner) issueCore(i int) {
+	c := &r.cores[i]
+
+	// Parked LLC outputs must be placed before anything else.
+	for len(c.pendingOut) > 0 {
+		o := c.pendingOut[0]
+		if !r.enqueue(o.req, o.wb) {
+			r.res.CoreStallCycles++
+			return
+		}
+		c.pendingOut = c.pendingOut[1:]
+	}
+
+	var a workload.Access
+	if c.pending != nil {
+		a = *c.pending
+		c.pending = nil
+	} else {
+		if c.done {
+			return
+		}
+		if c.issued >= r.cfg.AccessesPerCore {
+			c.done = true
+			return
+		}
+		if r.now < c.nextIssue {
+			return // pacing: ALU work between memory accesses
+		}
+		a = r.gens[c.proc].Next(c.localIdx)
+		c.issued++
+		c.nextIssue = r.now + int64(r.cfg.IssueInterval)
+	}
+
+	if !r.issueAccess(i, a) {
+		c.pending = &a
+		r.res.CoreStallCycles++
+	}
+}
+
+// issueAccess pushes one CPU access into the machine. It returns false if
+// the access could not start and must be retried (the hierarchy has not
+// been touched in that case).
+func (r *Runner) issueAccess(coreIdx int, a workload.Access) bool {
+	c := &r.cores[coreIdx]
+
+	if a.Op == mem.OpFence {
+		// Fences flow to the coalescer to flush aggregation state.
+		return r.enqueue(mem.Request{Op: mem.OpFence, Core: coreIdx, Issue: r.now}, false)
+	}
+
+	// Every demand access respects the outstanding-fill budget (the
+	// core's load/store queue depth).
+	if len(c.outstanding) >= r.cfg.MaxOutstandingLoads {
+		return false
+	}
+
+	addr := a.Addr
+	if r.spaces != nil {
+		addr = r.spaces[c.proc].Translate(addr)
+	}
+	out := r.hier.Access(coreIdx, addr, a.Size, a.Op, c.proc, r.now, func() uint64 {
+		r.nextID++
+		return r.nextID
+	})
+
+	// From here on the cache state is updated, so the access always
+	// "succeeds"; any outputs that cannot be queued now are parked on
+	// the core and block it until placed. The access's memory traffic
+	// (miss, prefetches, write-backs) is routed as one group.
+	var group []outReq
+	for _, wb := range out.WriteBacks {
+		group = append(group, outReq{wb, true})
+	}
+	if out.MissValid {
+		miss := out.Miss
+		if miss.Op == mem.OpLoad || miss.Op == mem.OpAtomic {
+			c.outstanding[miss.ID] = struct{}{}
+		}
+		group = append(group, outReq{miss, false})
+		// A demand miss (not an uncached atomic) trains the stride
+		// prefetcher; confirmed streams pull the next blocks in,
+		// arriving adjacent to the miss within the coalescing window.
+		if miss.Op != mem.OpAtomic {
+			for _, blk := range r.pf.Observe(coreIdx, mem.BlockNumber(miss.Addr)) {
+				group = r.appendPrefetch(group, coreIdx, c, blk)
+			}
+		}
+	}
+	r.route(c, group)
+	return true
+}
+
+// appendPrefetch installs one prefetch block and adds its traffic to the
+// access's request group.
+func (r *Runner) appendPrefetch(group []outReq, coreIdx int, c *coreState, blk uint64) []outReq {
+	if r.dev.Outstanding() >= r.cfg.PrefetchThrottle {
+		return group // device congested: demand traffic first
+	}
+	pfReq, wbs, ok := r.hier.Prefetch(blk<<mem.BlockShift, coreIdx, c.proc, r.now, func() uint64 {
+		r.nextID++
+		return r.nextID
+	})
+	if !ok {
+		return group
+	}
+	r.res.PrefetchRequests++
+	for _, wb := range wbs {
+		group = append(group, outReq{wb, true})
+	}
+	return append(group, outReq{pfReq, false})
+}
+
+// route places one access's request group. This is the network
+// controller of paper §3.2, realised per request: a lone raw request
+// arriving while the MAQ is empty and MSHRs are available has nothing to
+// coalesce with and would only pay the aggregation timeout, so it enters
+// the MSHRs directly; groups (a miss with its prefetches or write-backs)
+// and requests arriving under pressure go through the coalescing network,
+// whose latency then hides within the memory queueing time. Atomics are
+// always routed directly to the memory controller (§3.3.1).
+func (r *Runner) route(c *coreState, group []outReq) {
+	lone := len(group) == 1 && r.pac != nil && !r.cfg.DisableNetworkCtrl &&
+		r.pac.MAQEmpty() && r.pac.InputBacklog() == 0 && !r.file.Full()
+	for _, o := range group {
+		r.observe(o.req)
+		if o.req.Op == mem.OpAtomic || (lone && o.req.Op != mem.OpFence) {
+			if r.directAdmit(o.req, o.wb) {
+				continue
+			}
+		}
+		if !r.enqueue(o.req, o.wb) {
+			c.pendingOut = append(c.pendingOut, o)
+		}
+	}
+}
+
+// directAdmit sends one raw request straight at the MSHRs as a
+// single-block packet, skipping the coalescing network. It returns false
+// when no MSHR is free (the caller falls back to the pipeline).
+func (r *Runner) directAdmit(req mem.Request, wb bool) bool {
+	r.nextID++
+	pkt := mem.Coalesced{
+		ID:        r.nextID,
+		Addr:      mem.BlockAlign(req.Addr),
+		Size:      mem.BlockSize,
+		Op:        req.Op,
+		Parents:   []mem.Request{req},
+		Assembled: r.now,
+		Bypassed:  true,
+	}
+	if !r.admit(pkt) {
+		return false
+	}
+	r.res.DirectDispatches++
+	r.countRaw(req, wb)
+	return true
+}
+
+// enqueue places one LLC-level request into the coalescing pipeline. It
+// returns false when the input queue is full.
+//
+// In the MSHR-based DMC configuration the comparison against outstanding
+// MSHR entries happens here, at arrival — the parallel comparators of a
+// conventional miss-handling architecture fire when the miss reaches the
+// MSHR file, not when it is dispatched — so a request hitting an
+// outstanding cache line is absorbed immediately.
+func (r *Runner) enqueue(req mem.Request, wb bool) bool {
+	if r.cfg.Mode == coalesce.ModeDMC && req.Op.IsAccess() && req.Op != mem.OpAtomic {
+		pkt := mem.Coalesced{
+			Addr:    mem.BlockAlign(req.Addr),
+			Size:    mem.BlockSize,
+			Op:      req.Op,
+			Parents: []mem.Request{req},
+		}
+		if _, ok := r.file.TryMerge(pkt); ok {
+			r.res.MSHRMergedRaw++
+			r.countRaw(req, wb)
+			return true
+		}
+	}
+	if !r.pipe.Enqueue(req, wb) {
+		return false
+	}
+	r.countRaw(req, wb)
+	return true
+}
+
+// countRaw updates the raw LLC request counters.
+func (r *Runner) countRaw(req mem.Request, wb bool) {
+	if !req.Op.IsAccess() {
+		return
+	}
+	r.res.RawRequests++
+	if wb {
+		r.res.WriteBackRequests++
+	}
+}
+
+// observe feeds the trace sink.
+func (r *Runner) observe(req mem.Request) {
+	if r.cfg.TraceSink != nil {
+		req.Issue = r.now
+		r.cfg.TraceSink(req)
+	}
+}

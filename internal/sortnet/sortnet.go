@@ -1,0 +1,233 @@
+// Package sortnet implements the parallel sorting networks that PAC is
+// compared against in the paper's space-overhead analysis (Figure 11a):
+// Batcher's bitonic sorter and odd-even merge sorter. Both are provided as
+// functional comparison networks (they really sort, counting comparator
+// activations) together with the closed-form hardware cost models used for
+// the figure, plus the sorting-network-based request coalescer of
+// Wang et al. (ICPP'18) that those costs correspond to.
+package sortnet
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// log2 returns k for n = 2^k; it panics unless n is a power of two >= 1.
+func log2(n int) int {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("sortnet: size %d is not a power of two", n))
+	}
+	return bits.TrailingZeros(uint(n))
+}
+
+// BitonicComparators returns the number of hardware comparators of a
+// bitonic sorting network over n = 2^k inputs: n*k*(k+1)/4. For n = 64
+// this is the paper's 672.
+func BitonicComparators(n int) int {
+	k := log2(n)
+	return n * k * (k + 1) / 4
+}
+
+// OddEvenComparators returns the comparator count of Batcher's odd-even
+// merge sorting network over n = 2^k inputs: (k^2-k+4)*2^(k-2) - 1.
+// For n = 64 this is the paper's 543.
+func OddEvenComparators(n int) int {
+	k := log2(n)
+	if k == 0 {
+		return 0
+	}
+	return (k*k-k+4)*(1<<(k-2)) - 1
+}
+
+// Per-request staging descriptor sizes implied by the paper's Figure 11a
+// buffer figures (bitonic 2560B and odd-even 2016B at n = 64).
+const (
+	bitonicDescBytes = 40
+	oddEvenDescBytes = 32
+)
+
+// BitonicBufferBytes returns the request staging buffer of a bitonic
+// sorting DMC unit with n inputs.
+func BitonicBufferBytes(n int) int { return n * bitonicDescBytes }
+
+// OddEvenBufferBytes returns the staging buffer of an odd-even merge
+// sorting DMC unit with n inputs.
+func OddEvenBufferBytes(n int) int { return (n - 1) * oddEvenDescBytes }
+
+// PACComparators returns PAC's comparator count for n coalescing streams:
+// one tagged-PPN comparator per stream.
+func PACComparators(n int) int { return n }
+
+// PACBufferBytes returns PAC's stage-1/2 buffer requirement for n
+// coalescing streams: an 8B block-map plus a 16B request buffer per
+// stream (the paper's 384B at n = 16).
+func PACBufferBytes(n int) int { return n * (8 + 16) }
+
+// Network is a comparison network that sorts uint64 keys in place while
+// counting comparator activations.
+type Network struct {
+	// Comparisons counts compare-exchange operations performed.
+	Comparisons int64
+	kind        string
+}
+
+// NewBitonic returns a bitonic sorting network.
+func NewBitonic() *Network { return &Network{kind: "bitonic"} }
+
+// NewOddEven returns an odd-even merge sorting network.
+func NewOddEven() *Network { return &Network{kind: "oddeven"} }
+
+// Kind returns the network family name.
+func (s *Network) Kind() string { return s.kind }
+
+// compareExchange orders v[i] <= v[j].
+func (s *Network) compareExchange(v []uint64, i, j int) {
+	s.Comparisons++
+	if v[i] > v[j] {
+		v[i], v[j] = v[j], v[i]
+	}
+}
+
+// Sort sorts v in place. len(v) must be a power of two (networks are
+// fixed-topology); it panics otherwise.
+func (s *Network) Sort(v []uint64) {
+	n := len(v)
+	if n <= 1 {
+		return
+	}
+	log2(n) // validate power-of-two width
+	switch s.kind {
+	case "bitonic":
+		s.bitonic(v)
+	case "oddeven":
+		s.oddEven(v, 0, n)
+	default:
+		panic("sortnet: unknown network kind " + s.kind)
+	}
+}
+
+// bitonic runs the canonical iterative bitonic sort.
+func (s *Network) bitonic(v []uint64) {
+	n := len(v)
+	for size := 2; size <= n; size *= 2 {
+		for stride := size / 2; stride > 0; stride /= 2 {
+			for i := 0; i < n; i++ {
+				j := i ^ stride
+				if j <= i {
+					continue
+				}
+				if i&size == 0 {
+					s.compareExchange(v, i, j)
+				} else {
+					s.compareExchange(v, j, i)
+				}
+			}
+		}
+	}
+}
+
+// oddEven runs Batcher's odd-even merge sort over v[lo:lo+n).
+func (s *Network) oddEven(v []uint64, lo, n int) {
+	if n <= 1 {
+		return
+	}
+	m := n / 2
+	s.oddEven(v, lo, m)
+	s.oddEven(v, lo+m, m)
+	s.oddEvenMerge(v, lo, n, 1)
+}
+
+// oddEvenMerge merges the bitonic halves with stride r.
+func (s *Network) oddEvenMerge(v []uint64, lo, n, r int) {
+	step := r * 2
+	if step < n {
+		s.oddEvenMerge(v, lo, n, step)
+		s.oddEvenMerge(v, lo+r, n, step)
+		for i := lo + r; i+r < lo+n; i += step {
+			s.compareExchange(v, i, i+r)
+		}
+	} else {
+		s.compareExchange(v, lo, lo+r)
+	}
+}
+
+// CoalesceBatch implements the sorting-network DMC of Wang et al.
+// (ICPP'18): a batch of raw requests is sorted by (op, block address)
+// through the given network, then runs of requests on contiguous cache
+// blocks with the same operation are merged into packets of at most
+// maxBlocks blocks. Requests are identified by batch index in the
+// returned packets' Parents. Batches are padded to the network's
+// power-of-two width with sentinel keys.
+func CoalesceBatch(net *Network, reqs []mem.Request, maxBlocks int, ids func() uint64) []mem.Coalesced {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if maxBlocks < 1 {
+		panic("sortnet: maxBlocks must be >= 1")
+	}
+	// Keys: op in the top bit (so loads and stores separate), block
+	// number below, batch index in the low bits for stable recovery.
+	width := 1
+	for width < len(reqs) {
+		width *= 2
+	}
+	const idxBits = 16
+	if len(reqs) >= 1<<idxBits {
+		panic("sortnet: batch too large")
+	}
+	keys := make([]uint64, width)
+	for i, r := range reqs {
+		op := uint64(0)
+		if r.Op == mem.OpStore {
+			op = 1
+		}
+		keys[i] = op<<63 | mem.BlockNumber(r.Addr)<<idxBits | uint64(i)
+	}
+	for i := len(reqs); i < width; i++ {
+		keys[i] = ^uint64(0) // sentinel sorts last
+	}
+	net.Sort(keys)
+
+	var out []mem.Coalesced
+	var cur *mem.Coalesced
+	var curEndBlock uint64
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for _, k := range keys {
+		if k == ^uint64(0) {
+			break
+		}
+		r := reqs[k&(1<<idxBits-1)]
+		blk := mem.BlockNumber(r.Addr)
+		if cur != nil && r.Op == cur.Op &&
+			(blk == curEndBlock || blk == curEndBlock-1) && // adjacent or duplicate
+			// Stay within one maxBlocks-aligned chunk so packets
+			// never span device rows.
+			blk/uint64(maxBlocks) == mem.BlockNumber(cur.Addr)/uint64(maxBlocks) {
+			if blk == curEndBlock {
+				cur.Size += mem.BlockSize
+				curEndBlock++
+			}
+			cur.Parents = append(cur.Parents, r)
+			continue
+		}
+		flush()
+		c := mem.Coalesced{
+			ID:      ids(),
+			Addr:    mem.BlockAlign(r.Addr),
+			Size:    mem.BlockSize,
+			Op:      r.Op,
+			Parents: []mem.Request{r},
+		}
+		cur = &c
+		curEndBlock = blk + 1
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,230 @@
+package sortnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func TestComparatorCountsMatchPaper(t *testing.T) {
+	// Figure 11a's N=64 data points.
+	if got := BitonicComparators(64); got != 672 {
+		t.Errorf("BitonicComparators(64) = %d, want 672", got)
+	}
+	if got := OddEvenComparators(64); got != 543 {
+		t.Errorf("OddEvenComparators(64) = %d, want 543", got)
+	}
+	if got := PACComparators(64); got != 64 {
+		t.Errorf("PACComparators(64) = %d, want 64", got)
+	}
+}
+
+func TestBufferBytesMatchPaper(t *testing.T) {
+	if got := BitonicBufferBytes(64); got != 2560 {
+		t.Errorf("BitonicBufferBytes(64) = %d, want 2560", got)
+	}
+	if got := OddEvenBufferBytes(64); got != 2016 {
+		t.Errorf("OddEvenBufferBytes(64) = %d, want 2016", got)
+	}
+	if got := PACBufferBytes(16); got != 384 {
+		t.Errorf("PACBufferBytes(16) = %d, want 384", got)
+	}
+}
+
+func TestCostsPanicOnNonPowerOfTwo(t *testing.T) {
+	for _, f := range []func(int) int{BitonicComparators, OddEvenComparators} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for n=3")
+				}
+			}()
+			f(3)
+		}()
+	}
+}
+
+func TestNetworksSort(t *testing.T) {
+	for _, mk := range []func() *Network{NewBitonic, NewOddEven} {
+		net := mk()
+		for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+			v := make([]uint64, n)
+			r := rand.New(rand.NewSource(int64(n)))
+			for i := range v {
+				v[i] = r.Uint64()
+			}
+			net.Sort(v)
+			if !sort.SliceIsSorted(v, func(i, j int) bool { return v[i] < v[j] }) {
+				t.Errorf("%s failed to sort %d elements", net.Kind(), n)
+			}
+		}
+	}
+}
+
+func TestSortPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBitonic().Sort(make([]uint64, 3))
+}
+
+// Property: both networks sort arbitrary 64-wide inputs.
+func TestNetworksSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := make([]uint64, 64)
+		b := make([]uint64, 64)
+		for i := range a {
+			a[i] = r.Uint64()
+			b[i] = a[i]
+		}
+		NewBitonic().Sort(a)
+		NewOddEven().Sort(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false // both must agree with each other
+			}
+		}
+		return sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The functional networks' comparator activation counts must match the
+// closed-form hardware costs used in Figure 11a.
+func TestFunctionalCountsMatchFormulas(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		bn := NewBitonic()
+		bn.Sort(make([]uint64, n))
+		if int(bn.Comparisons) != BitonicComparators(n) {
+			t.Errorf("bitonic n=%d: functional %d != formula %d", n, bn.Comparisons, BitonicComparators(n))
+		}
+		on := NewOddEven()
+		on.Sort(make([]uint64, n))
+		if int(on.Comparisons) != OddEvenComparators(n) {
+			t.Errorf("oddeven n=%d: functional %d != formula %d", n, on.Comparisons, OddEvenComparators(n))
+		}
+	}
+}
+
+func req(id, addr uint64, op mem.Op) mem.Request {
+	return mem.Request{ID: id, Addr: addr, Size: mem.BlockSize, Op: op}
+}
+
+func TestCoalesceBatchMergesAdjacent(t *testing.T) {
+	reqs := []mem.Request{
+		req(1, mem.BlockAddr(0x9, 2), mem.OpLoad),
+		req(2, mem.BlockAddr(0x9, 1), mem.OpLoad), // out of order on purpose
+		req(3, mem.BlockAddr(0xA, 0), mem.OpLoad),
+	}
+	var n uint64
+	out := CoalesceBatch(NewBitonic(), reqs, 4, func() uint64 { n++; return n })
+	if len(out) != 2 {
+		t.Fatalf("got %d packets, want 2: %v", len(out), out)
+	}
+	if out[0].Addr != mem.BlockAddr(0x9, 1) || out[0].Size != 128 || len(out[0].Parents) != 2 {
+		t.Errorf("first packet wrong: %+v", out[0])
+	}
+	if out[1].Addr != mem.BlockAddr(0xA, 0) || out[1].Size != 64 {
+		t.Errorf("second packet wrong: %+v", out[1])
+	}
+}
+
+func TestCoalesceBatchRespectsMaxBlocks(t *testing.T) {
+	var reqs []mem.Request
+	for b := uint(0); b < 8; b++ {
+		reqs = append(reqs, req(uint64(b), mem.BlockAddr(0x5, b), mem.OpLoad))
+	}
+	var n uint64
+	out := CoalesceBatch(NewOddEven(), reqs, 4, func() uint64 { n++; return n })
+	if len(out) != 2 {
+		t.Fatalf("got %d packets, want 2", len(out))
+	}
+	for _, pkt := range out {
+		if pkt.Blocks() != 4 {
+			t.Errorf("packet blocks = %d, want 4", pkt.Blocks())
+		}
+	}
+}
+
+func TestCoalesceBatchSeparatesOps(t *testing.T) {
+	reqs := []mem.Request{
+		req(1, mem.BlockAddr(0x5, 0), mem.OpLoad),
+		req(2, mem.BlockAddr(0x5, 1), mem.OpStore),
+	}
+	var n uint64
+	out := CoalesceBatch(NewBitonic(), reqs, 4, func() uint64 { n++; return n })
+	if len(out) != 2 {
+		t.Fatalf("load and store merged: %v", out)
+	}
+}
+
+func TestCoalesceBatchDuplicateBlocks(t *testing.T) {
+	reqs := []mem.Request{
+		req(1, mem.BlockAddr(0x5, 0), mem.OpLoad),
+		req(2, mem.BlockAddr(0x5, 0), mem.OpLoad),
+	}
+	var n uint64
+	out := CoalesceBatch(NewBitonic(), reqs, 4, func() uint64 { n++; return n })
+	if len(out) != 1 || out[0].Size != 64 || len(out[0].Parents) != 2 {
+		t.Fatalf("duplicate blocks should merge into one 64B packet: %v", out)
+	}
+}
+
+func TestCoalesceBatchEmptyAndErrors(t *testing.T) {
+	var n uint64
+	ids := func() uint64 { n++; return n }
+	if out := CoalesceBatch(NewBitonic(), nil, 4, ids); out != nil {
+		t.Error("empty batch should return nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on maxBlocks=0")
+		}
+	}()
+	CoalesceBatch(NewBitonic(), []mem.Request{req(1, 0x1000, mem.OpLoad)}, 0, ids)
+}
+
+// Property: every input request appears in exactly one output packet, and
+// packets never cross page boundaries.
+func TestCoalesceBatchConservation(t *testing.T) {
+	f := func(seed int64, nReq uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nReq%60) + 1
+		reqs := make([]mem.Request, n)
+		for i := range reqs {
+			op := mem.OpLoad
+			if r.Intn(2) == 1 {
+				op = mem.OpStore
+			}
+			reqs[i] = req(uint64(i+1), mem.BlockAddr(uint64(r.Intn(8)), uint(r.Intn(64))), op)
+		}
+		var id uint64
+		out := CoalesceBatch(NewBitonic(), reqs, 4, func() uint64 { id++; return id })
+		seen := map[uint64]int{}
+		for _, pkt := range out {
+			if mem.PPN(pkt.Addr) != mem.PPN(pkt.Addr+uint64(pkt.Size)-1) {
+				return false
+			}
+			for _, p := range pkt.Parents {
+				seen[p.ID]++
+			}
+		}
+		for i := 1; i <= n; i++ {
+			if seen[uint64(i)] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

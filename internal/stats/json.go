@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// meanJSON is the serialised form of Mean.
+type meanJSON struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON summarises the accumulator (count, mean, extrema).
+func (m Mean) MarshalJSON() ([]byte, error) {
+	return json.Marshal(meanJSON{N: m.n, Mean: m.Value(), Min: m.min, Max: m.max})
+}
+
+// UnmarshalJSON restores a summarised accumulator. The restored value
+// reports the same N, Value, Min and Max; adding further observations is
+// supported (the running sum is reconstructed from mean*n).
+func (m *Mean) UnmarshalJSON(data []byte) error {
+	var j meanJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.N < 0 {
+		return fmt.Errorf("stats: negative observation count %d", j.N)
+	}
+	m.n = j.N
+	m.sum = j.Mean * float64(j.N)
+	m.min = j.Min
+	m.max = j.Max
+	return nil
+}
+
+// MarshalJSON emits the histogram bins (index = value).
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N    int64   `json:"n"`
+		Bins []int64 `json:"bins"`
+	}{h.n, h.bins})
+}
+
+// UnmarshalJSON restores a histogram from its bins.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j struct {
+		N    int64   `json:"n"`
+		Bins []int64 `json:"bins"`
+	}
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	var total int64
+	for _, c := range j.Bins {
+		if c < 0 {
+			return fmt.Errorf("stats: negative bin count %d", c)
+		}
+		total += c
+	}
+	if total != j.N {
+		return fmt.Errorf("stats: bin sum %d != n %d", total, j.N)
+	}
+	h.bins = j.Bins
+	h.n = j.N
+	return nil
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMeanJSONRoundTrip(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{2, 4, 9} {
+		m.Add(x)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Mean
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 || back.Value() != m.Value() || back.Min() != 2 || back.Max() != 9 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// The restored accumulator keeps working.
+	back.Add(100)
+	if back.N() != 4 || back.Max() != 100 {
+		t.Errorf("restored Mean broken after Add: %v", back)
+	}
+}
+
+func TestMeanJSONRejectsNegativeN(t *testing.T) {
+	var m Mean
+	if err := json.Unmarshal([]byte(`{"n":-1,"mean":0,"min":0,"max":0}`), &m); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{1, 1, 3} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 || back.Count(1) != 2 || back.Count(3) != 1 {
+		t.Fatalf("round trip lost data: %v", back.Bins())
+	}
+}
+
+func TestHistogramJSONValidates(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"n":5,"bins":[1,1]}`), &h); err == nil {
+		t.Fatal("inconsistent bin sum accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"n":-1,"bins":[-1]}`), &h); err == nil {
+		t.Fatal("negative bin accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small statistics toolkit used across the
+// simulator: streaming means, histograms, and named counter sets. All types
+// are plain values with no locking; each simulation pipeline owns its own
+// instances and aggregation happens after the run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean accumulates a streaming arithmetic mean and extrema.
+type Mean struct {
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Add folds one observation into the mean.
+func (m *Mean) Add(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+	m.sum += x
+}
+
+// N returns the number of observations.
+func (m *Mean) N() int64 { return m.n }
+
+// Sum returns the running total.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Value returns the arithmetic mean, or 0 with no observations.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (m *Mean) Max() float64 { return m.max }
+
+// Histogram counts integer-valued observations in unit-width bins.
+// It grows on demand; bin i counts observations of exactly value i.
+type Histogram struct {
+	bins []int64
+	n    int64
+}
+
+// Add records one observation of value v. Negative values are clamped to 0.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for v >= len(h.bins) {
+		h.bins = append(h.bins, 0)
+	}
+	h.bins[v]++
+	h.n++
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int) int64 {
+	if v < 0 || v >= len(h.bins) {
+		return 0
+	}
+	return h.bins[v]
+}
+
+// Bins returns a copy of the bin counts, index = value.
+func (h *Histogram) Bins() []int64 {
+	out := make([]int64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Mean returns the mean observed value.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var s float64
+	for v, c := range h.bins {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(h.n)
+}
+
+// Fraction returns the share of observations with value v, in [0,1].
+func (h *Histogram) Fraction(v int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.n)
+}
+
+// Percentile returns the smallest value v such that at least p (0..1) of
+// the observations are <= v. Returns 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for v, c := range h.bins {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.bins) - 1
+}
+
+// Counters is a set of named monotonic counters. The zero value is ready
+// to use.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (0 if never touched).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds another counter set into this one.
+func (c *Counters) Merge(o *Counters) {
+	for k, v := range o.m {
+		c.Add(k, v)
+	}
+}
+
+// String renders the counters as "name=value" pairs in sorted order.
+func (c *Counters) String() string {
+	s := ""
+	for i, n := range c.Names() {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", n, c.m[n])
+	}
+	return s
+}
+
+// Ratio safely divides a by b, returning 0 when b is 0.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Pct returns 100*a/b, or 0 when b is 0.
+func Pct(a, b int64) float64 { return 100 * Ratio(a, b) }
+
+// Reduction returns the relative reduction from base to v as a percentage:
+// 100*(base-v)/base. Returns 0 when base is 0.
+func Reduction(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - v) / base
+}

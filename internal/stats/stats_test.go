@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanEmpty(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 || m.Min() != 0 || m.Max() != 0 {
+		t.Errorf("zero Mean not all-zero: %+v", m)
+	}
+}
+
+func TestMeanBasic(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{2, 4, 6} {
+		m.Add(x)
+	}
+	if m.Value() != 4 {
+		t.Errorf("Value = %v, want 4", m.Value())
+	}
+	if m.Min() != 2 || m.Max() != 6 {
+		t.Errorf("Min/Max = %v/%v, want 2/6", m.Min(), m.Max())
+	}
+	if m.Sum() != 12 || m.N() != 3 {
+		t.Errorf("Sum/N = %v/%v", m.Sum(), m.N())
+	}
+}
+
+func TestMeanNegativeFirst(t *testing.T) {
+	var m Mean
+	m.Add(-5)
+	m.Add(3)
+	if m.Min() != -5 || m.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v, want -5/3", m.Min(), m.Max())
+	}
+}
+
+func TestMeanPropertyBounded(t *testing.T) {
+	// Mean is always within [min, max].
+	f := func(xs []float64) bool {
+		var m Mean
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				continue // avoid overflow of the running sum
+			}
+			m.Add(x)
+			ok = false
+		}
+		if ok {
+			return true
+		}
+		return m.Value() >= m.Min()-1e-9 && m.Value() <= m.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	var h Histogram
+	for _, v := range []int{1, 1, 2, 5} {
+		h.Add(v)
+	}
+	if h.N() != 4 {
+		t.Fatalf("N = %d, want 4", h.N())
+	}
+	if h.Count(1) != 2 || h.Count(2) != 1 || h.Count(5) != 1 || h.Count(3) != 0 {
+		t.Errorf("bad counts: %v", h.Bins())
+	}
+	if h.Count(-1) != 0 || h.Count(100) != 0 {
+		t.Error("out-of-range Count should be 0")
+	}
+	want := (1.0*2 + 2 + 5) / 4.0
+	if h.Mean() != want {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+	if h.Fraction(1) != 0.5 {
+		t.Errorf("Fraction(1) = %v, want 0.5", h.Fraction(1))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-3)
+	if h.Count(0) != 1 {
+		t.Errorf("negative value not clamped to bin 0: %v", h.Bins())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if got := h.Percentile(0.5); got != 50 {
+		t.Errorf("P50 = %d, want 50", got)
+	}
+	if got := h.Percentile(0.99); got != 99 {
+		t.Errorf("P99 = %d, want 99", got)
+	}
+	if got := h.Percentile(1.0); got != 100 {
+		t.Errorf("P100 = %d, want 100", got)
+	}
+	var empty Histogram
+	if empty.Percentile(0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestHistogramBinsIsCopy(t *testing.T) {
+	var h Histogram
+	h.Add(2)
+	b := h.Bins()
+	b[2] = 99
+	if h.Count(2) != 1 {
+		t.Error("Bins() must return a copy")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Inc("a")
+	c.Add("b", 5)
+	c.Inc("a")
+	if c.Get("a") != 2 || c.Get("b") != 5 || c.Get("zzz") != 0 {
+		t.Errorf("bad counters: %v", c.String())
+	}
+	if got := c.String(); got != "a=2 b=5" {
+		t.Errorf("String = %q", got)
+	}
+	var d Counters
+	d.Add("b", 1)
+	d.Add("c", 3)
+	c.Merge(&d)
+	if c.Get("b") != 6 || c.Get("c") != 3 {
+		t.Errorf("after merge: %v", c.String())
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if Ratio(1, 0) != 0 || Pct(1, 0) != 0 {
+		t.Error("division by zero must return 0")
+	}
+	if Ratio(1, 4) != 0.25 {
+		t.Errorf("Ratio(1,4) = %v", Ratio(1, 4))
+	}
+	if Pct(1, 4) != 25 {
+		t.Errorf("Pct(1,4) = %v", Pct(1, 4))
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if Reduction(0, 5) != 0 {
+		t.Error("Reduction with zero base must be 0")
+	}
+	if got := Reduction(100, 40); got != 60 {
+		t.Errorf("Reduction(100,40) = %v, want 60", got)
+	}
+	if got := Reduction(50, 75); got != -50 {
+		t.Errorf("Reduction(50,75) = %v, want -50", got)
+	}
+}

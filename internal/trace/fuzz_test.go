@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// FuzzRead drives the binary parser with arbitrary input: it must never
+// panic, and anything it accepts must round-trip back to identical bytes
+// structurally (write(read(x)) parses to the same records).
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	var buf bytes.Buffer
+	_ = Write(&buf, []mem.Request{
+		{ID: 1, Addr: 0x1000, Size: 64, Op: mem.OpLoad, Core: 1, Issue: 5},
+		{ID: 2, Addr: 0x2040, Size: 64, Op: mem.OpStore, Prefetch: true},
+	})
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("PACT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must re-encode and re-parse identically.
+		var out bytes.Buffer
+		if err := Write(&out, reqs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round-trip changed count: %d -> %d", len(reqs), len(again))
+		}
+		for i := range reqs {
+			if again[i] != reqs[i] {
+				t.Fatalf("round-trip changed record %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+// Replayer adapts a recorded LLC trace back into a workload.Generator, so
+// captured request streams can be driven through the machine again (for
+// example to compare coalescer configurations on the exact same traffic).
+//
+// The trace records LLC-level block requests; replay presents them as
+// block-sized CPU accesses partitioned by the recorded core. Because the
+// original addresses are replayed verbatim into each core's stream, the
+// cache hierarchy will largely pass them through again (every block is
+// touched once per recorded request). Prefetch records are skipped — the
+// replaying machine regenerates its own prefetch traffic.
+type Replayer struct {
+	perCore [][]mem.Request
+	cursor  []int
+}
+
+// NewReplayer partitions the trace by core, keeping record order. cores
+// bounds the core index space; records from higher cores wrap around.
+func NewReplayer(reqs []mem.Request, cores int) *Replayer {
+	if cores <= 0 {
+		cores = 1
+	}
+	r := &Replayer{
+		perCore: make([][]mem.Request, cores),
+		cursor:  make([]int, cores),
+	}
+	for _, q := range reqs {
+		if q.Prefetch || !q.Op.IsAccess() {
+			continue
+		}
+		c := q.Core % cores
+		r.perCore[c] = append(r.perCore[c], q)
+	}
+	return r
+}
+
+// Name implements workload.Generator.
+func (r *Replayer) Name() string { return "REPLAY" }
+
+// Len returns the number of replayable records for a core.
+func (r *Replayer) Len(core int) int { return len(r.perCore[core]) }
+
+// Next implements workload.Generator: it cycles through the core's
+// recorded requests endlessly (the driver bounds the run length).
+func (r *Replayer) Next(core int) workload.Access {
+	q := r.perCore[core]
+	if len(q) == 0 {
+		// A core with no recorded traffic idles on a fence.
+		return workload.Access{Op: mem.OpFence}
+	}
+	rec := q[r.cursor[core]%len(q)]
+	r.cursor[core]++
+	return workload.Access{Addr: rec.Addr, Size: rec.Size, Op: rec.Op}
+}
+
+var _ workload.Generator = (*Replayer)(nil)

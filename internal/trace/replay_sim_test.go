@@ -1,0 +1,100 @@
+package trace_test
+
+// End-to-end replay test: capture a trace from one simulation, replay it
+// through fresh machines under different coalescing modes, and check the
+// replayed traffic behaves like the original pattern.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pacsim/pac/internal/cache"
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/trace"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+func replayConfig(mode coalesce.Mode, gen workload.Generator) sim.Config {
+	cfg := sim.DefaultConfig("GS", mode)
+	cfg.Procs = []sim.ProcSpec{{Benchmark: "GS", Cores: 2}}
+	cfg.Scale = 0.02
+	cfg.AccessesPerCore = 3_000
+	cfg.Hierarchy = cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.Config{Size: 2 << 10, Ways: 8},
+		LLC:   cache.Config{Size: 128 << 10, Ways: 8},
+	}
+	if gen != nil {
+		cfg.Generators = []workload.Generator{gen}
+	}
+	return cfg
+}
+
+func TestCaptureAndReplay(t *testing.T) {
+	// 1. Capture the LLC request stream of a GS run.
+	var captured []mem.Request
+	cfg := replayConfig(coalesce.ModePAC, nil)
+	cfg.TraceSink = func(r mem.Request) { captured = append(captured, r) }
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) == 0 {
+		t.Fatal("nothing captured")
+	}
+
+	// 2. Round-trip through the binary format.
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, captured); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Replay through fresh machines under PAC and baseline.
+	results := map[coalesce.Mode]*sim.Result{}
+	for _, mode := range []coalesce.Mode{coalesce.ModePAC, coalesce.ModeNone} {
+		rp := trace.NewReplayer(loaded, 2)
+		cfg := replayConfig(mode, rp)
+		cfg.AccessesPerCore = 2_000
+		runner, err := sim.NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemPackets == 0 {
+			t.Fatalf("%v replay produced no traffic", mode)
+		}
+		results[mode] = res
+	}
+
+	// The replayed GS pattern must still coalesce under PAC.
+	pacRes := results[coalesce.ModePAC]
+	if pacRes.CoalescingEfficiency() < 10 {
+		t.Errorf("replayed GS coalesces only %.2f%%", pacRes.CoalescingEfficiency())
+	}
+	if results[coalesce.ModeNone].CoalescingEfficiency() != 0 {
+		t.Error("baseline replay coalesced")
+	}
+}
+
+func TestGeneratorCountValidation(t *testing.T) {
+	cfg := replayConfig(coalesce.ModePAC, nil)
+	cfg.Generators = []workload.Generator{
+		trace.NewReplayer(nil, 2),
+		trace.NewReplayer(nil, 2),
+	}
+	if _, err := sim.NewRunner(cfg); err == nil {
+		t.Fatal("generator/process count mismatch accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package trace provides a compact binary format for LLC-level request
+// traces, so captured streams can be stored, inspected, and replayed
+// through the coalescing layers without regenerating them. The pactrace
+// tool writes and reads this format, and workload replay (see Replayer)
+// turns a recorded trace back into a deterministic access stream.
+//
+// Format (little endian):
+//
+//	header : magic "PACT" | u16 version | u16 reserved | u64 count
+//	record : u64 id | u64 addr | u32 size | u8 op | u8 flags |
+//	         u16 core | u32 proc | i64 issue
+//
+// flags bit 0 marks prefetch requests.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// magic identifies trace files.
+var magic = [4]byte{'P', 'A', 'C', 'T'}
+
+// Version is the current format version.
+const Version = 1
+
+// recordSize is the on-disk size of one request record.
+const recordSize = 8 + 8 + 4 + 1 + 1 + 2 + 4 + 8
+
+const flagPrefetch = 1 << 0
+
+// Write stores a trace. The count is taken from len(reqs).
+func Write(w io.Writer, reqs []mem.Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint16(hdr[0:], Version)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(reqs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, r := range reqs {
+		encode(&rec, r)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encode(rec *[recordSize]byte, r mem.Request) {
+	binary.LittleEndian.PutUint64(rec[0:], r.ID)
+	binary.LittleEndian.PutUint64(rec[8:], r.Addr)
+	binary.LittleEndian.PutUint32(rec[16:], r.Size)
+	rec[20] = byte(r.Op)
+	var flags byte
+	if r.Prefetch {
+		flags |= flagPrefetch
+	}
+	rec[21] = flags
+	binary.LittleEndian.PutUint16(rec[22:], uint16(r.Core))
+	binary.LittleEndian.PutUint32(rec[24:], uint32(r.Proc))
+	binary.LittleEndian.PutUint64(rec[28:], uint64(r.Issue))
+}
+
+func decode(rec *[recordSize]byte) mem.Request {
+	return mem.Request{
+		ID:       binary.LittleEndian.Uint64(rec[0:]),
+		Addr:     binary.LittleEndian.Uint64(rec[8:]),
+		Size:     binary.LittleEndian.Uint32(rec[16:]),
+		Op:       mem.Op(rec[20]),
+		Prefetch: rec[21]&flagPrefetch != 0,
+		Core:     int(binary.LittleEndian.Uint16(rec[22:])),
+		Proc:     int(binary.LittleEndian.Uint32(rec[24:])),
+		Issue:    int64(binary.LittleEndian.Uint64(rec[28:])),
+	}
+}
+
+// Read loads a whole trace.
+func Read(r io.Reader) ([]mem.Request, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:])
+	const sanity = 1 << 30
+	if count > sanity {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	// The count is untrusted input: cap the preallocation and let the
+	// slice grow as records actually arrive (a short stream fails in
+	// ReadFull below long before a hostile count could matter).
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	reqs := make([]mem.Request, 0, capHint)
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		reqs = append(reqs, decode(&rec))
+	}
+	return reqs, nil
+}
+
+// Summary aggregates a trace's headline properties.
+type Summary struct {
+	// Requests is the record count.
+	Requests int
+	// Loads, Stores, Atomics and Prefetches partition the records.
+	Loads, Stores, Atomics, Prefetches int
+	// Pages is the number of distinct page frames touched.
+	Pages int
+	// Cycles is the issue-cycle span (last - first).
+	Cycles int64
+}
+
+// Summarize scans a trace.
+func Summarize(reqs []mem.Request) Summary {
+	var s Summary
+	s.Requests = len(reqs)
+	pages := map[uint64]struct{}{}
+	var lo, hi int64
+	for i, r := range reqs {
+		switch {
+		case r.Prefetch:
+			s.Prefetches++
+		case r.Op == mem.OpStore:
+			s.Stores++
+		case r.Op == mem.OpAtomic:
+			s.Atomics++
+		default:
+			s.Loads++
+		}
+		pages[mem.PPN(r.Addr)] = struct{}{}
+		if i == 0 || r.Issue < lo {
+			lo = r.Issue
+		}
+		if r.Issue > hi {
+			hi = r.Issue
+		}
+	}
+	s.Pages = len(pages)
+	if s.Requests > 0 {
+		s.Cycles = hi - lo
+	}
+	return s
+}

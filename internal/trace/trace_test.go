@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func sampleTrace(n int, seed int64) []mem.Request {
+	r := rand.New(rand.NewSource(seed))
+	reqs := make([]mem.Request, n)
+	for i := range reqs {
+		reqs[i] = mem.Request{
+			ID:       uint64(i + 1),
+			Addr:     uint64(r.Int63()) & mem.PhysAddrMask,
+			Size:     64,
+			Op:       mem.Op(r.Intn(3)),
+			Core:     r.Intn(8),
+			Proc:     r.Intn(2),
+			Issue:    int64(i * 3),
+			Prefetch: r.Intn(4) == 0,
+		}
+	}
+	return reqs
+}
+
+func TestRoundTrip(t *testing.T) {
+	reqs := sampleTrace(500, 42)
+	var buf bytes.Buffer
+	if err := Write(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("read %d records, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty trace, got %d", len(got))
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	reqs := sampleTrace(10, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if _, err := Read(bytes.NewReader(raw[:10])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // version field
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadRejectsImplausibleCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 8; i < 16; i++ {
+		raw[i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+// Property: round-trip is the identity on arbitrary valid requests.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id, addr uint64, size uint32, op uint8, core uint16, proc uint8, issue int64, pf bool) bool {
+		in := []mem.Request{{
+			ID:       id,
+			Addr:     addr,
+			Size:     size,
+			Op:       mem.Op(op % 4),
+			Core:     int(core),
+			Proc:     int(proc),
+			Issue:    issue,
+			Prefetch: pf,
+		}}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return out[0] == in[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reqs := []mem.Request{
+		{Addr: 0x1000, Op: mem.OpLoad, Issue: 10},
+		{Addr: 0x1040, Op: mem.OpStore, Issue: 20},
+		{Addr: 0x2000, Op: mem.OpAtomic, Issue: 30},
+		{Addr: 0x3000, Op: mem.OpLoad, Issue: 40, Prefetch: true},
+	}
+	s := Summarize(reqs)
+	if s.Requests != 4 || s.Loads != 1 || s.Stores != 1 || s.Atomics != 1 || s.Prefetches != 1 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.Pages != 3 {
+		t.Errorf("Pages = %d, want 3", s.Pages)
+	}
+	if s.Cycles != 30 {
+		t.Errorf("Cycles = %d, want 30", s.Cycles)
+	}
+	if empty := Summarize(nil); empty.Requests != 0 || empty.Cycles != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}
+
+func TestReplayerPartitionsByCore(t *testing.T) {
+	reqs := []mem.Request{
+		{ID: 1, Addr: 0x1000, Size: 64, Op: mem.OpLoad, Core: 0},
+		{ID: 2, Addr: 0x2000, Size: 64, Op: mem.OpStore, Core: 1},
+		{ID: 3, Addr: 0x3000, Size: 64, Op: mem.OpLoad, Core: 0},
+		{ID: 4, Addr: 0x4000, Size: 64, Op: mem.OpLoad, Core: 0, Prefetch: true}, // skipped
+	}
+	r := NewReplayer(reqs, 2)
+	if r.Len(0) != 2 || r.Len(1) != 1 {
+		t.Fatalf("partition sizes %d/%d, want 2/1", r.Len(0), r.Len(1))
+	}
+	a := r.Next(0)
+	if a.Addr != 0x1000 || a.Op != mem.OpLoad {
+		t.Fatalf("first core-0 access: %+v", a)
+	}
+	b := r.Next(1)
+	if b.Addr != 0x2000 || b.Op != mem.OpStore {
+		t.Fatalf("first core-1 access: %+v", b)
+	}
+	// Replay cycles endlessly.
+	r.Next(0)
+	c := r.Next(0)
+	if c.Addr != 0x1000 {
+		t.Fatalf("replay did not wrap: %+v", c)
+	}
+}
+
+func TestReplayerCoreWrapAndIdle(t *testing.T) {
+	reqs := []mem.Request{{ID: 1, Addr: 0x1000, Size: 64, Op: mem.OpLoad, Core: 5}}
+	r := NewReplayer(reqs, 2) // core 5 wraps to core 1
+	if r.Len(1) != 1 {
+		t.Fatalf("wrapped core traffic missing")
+	}
+	if a := r.Next(0); a.Op != mem.OpFence {
+		t.Fatalf("idle core should fence, got %+v", a)
+	}
+	if r.Name() != "REPLAY" {
+		t.Error("bad name")
+	}
+}

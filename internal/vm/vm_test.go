@@ -1,0 +1,106 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func TestOffsetsPreserved(t *testing.T) {
+	a := New(0, 1, 1<<16)
+	va := uint64(0x12345678)
+	pa := a.Translate(va)
+	if mem.PageOff(pa) != mem.PageOff(va) {
+		t.Fatalf("page offset not preserved: va=0x%x pa=0x%x", va, pa)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a1 := New(0, 7, 1<<16)
+	a2 := New(0, 7, 1<<16)
+	for i := uint64(0); i < 1000; i++ {
+		va := i * 0x1333
+		if a1.Translate(va) != a2.Translate(va) {
+			t.Fatalf("translation not deterministic at va=0x%x", va)
+		}
+	}
+}
+
+func TestStableMapping(t *testing.T) {
+	a := New(0, 7, 1<<16)
+	va := uint64(0x9000)
+	first := a.Translate(va)
+	for i := 0; i < 10; i++ {
+		if got := a.Translate(va + uint64(i)); mem.PPN(got) != mem.PPN(first) {
+			t.Fatalf("same page translated to different frames")
+		}
+	}
+	if a.Pages() != 1 {
+		t.Fatalf("Pages = %d, want 1", a.Pages())
+	}
+}
+
+func TestFramesUnique(t *testing.T) {
+	a := New(0, 3, 1<<12)
+	seen := map[uint64]uint64{}
+	for vpn := uint64(0); vpn < 2000; vpn++ {
+		pa := a.Translate(mem.PageBase(vpn))
+		pfn := mem.PPN(pa)
+		if prev, dup := seen[pfn]; dup {
+			t.Fatalf("frame 0x%x assigned to vpns 0x%x and 0x%x", pfn, prev, vpn)
+		}
+		seen[pfn] = vpn
+	}
+}
+
+func TestProcessPoolsDisjoint(t *testing.T) {
+	a0 := New(0, 9, 1<<12)
+	a1 := New(1, 9, 1<<12)
+	frames0 := map[uint64]bool{}
+	for vpn := uint64(0); vpn < 500; vpn++ {
+		frames0[mem.PPN(a0.Translate(mem.PageBase(vpn)))] = true
+	}
+	for vpn := uint64(0); vpn < 500; vpn++ {
+		if frames0[mem.PPN(a1.Translate(mem.PageBase(vpn)))] {
+			t.Fatal("processes share a physical frame")
+		}
+	}
+}
+
+func TestScattering(t *testing.T) {
+	// Virtually contiguous pages must NOT be physically contiguous in
+	// general (that is the point of the substrate).
+	a := New(0, 11, 1<<20)
+	contiguous := 0
+	prev := mem.PPN(a.Translate(0))
+	for vpn := uint64(1); vpn < 500; vpn++ {
+		pfn := mem.PPN(a.Translate(mem.PageBase(vpn)))
+		if pfn == prev+1 {
+			contiguous++
+		}
+		prev = pfn
+	}
+	if contiguous > 5 {
+		t.Errorf("%d of 499 virtually-adjacent pages are physically adjacent; expected scattering", contiguous)
+	}
+}
+
+// Property: translation preserves within-page adjacency — two addresses
+// in the same virtual page land in the same physical page, in order.
+func TestWithinPageAdjacency(t *testing.T) {
+	a := New(0, 13, 1<<18)
+	f := func(vaRaw uint64, off1, off2 uint16) bool {
+		va := vaRaw & mem.PhysAddrMask &^ uint64(mem.PageSize-1)
+		p1 := a.Translate(va + uint64(off1)%mem.PageSize)
+		p2 := a.Translate(va + uint64(off2)%mem.PageSize)
+		if mem.PPN(p1) != mem.PPN(p2) {
+			return false
+		}
+		return (p1 < p2) == (uint64(off1)%mem.PageSize < uint64(off2)%mem.PageSize) ||
+			uint64(off1)%mem.PageSize == uint64(off2)%mem.PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

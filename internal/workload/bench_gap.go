@@ -1,0 +1,93 @@
+package workload
+
+// GAP Benchmark Suite proxy: BFS (breadth-first search) over a scale-free
+// (Kronecker/RMAT-like) graph.
+
+func init() {
+	register("BFS", newBFS)
+}
+
+// bfsGen models GAPBS BFS in its top-down phase: sequential frontier pops,
+// a short neighbour-list scan at an effectively random edge-array offset
+// (scale-free graphs have mostly tiny adjacency lists at uncorrelated
+// positions), a random read of the parent array, an atomic compare-and-swap
+// on the shared visited words, and a sequential next-frontier push.
+//
+// The resulting request stream is the sparsest of the suite: most LLC
+// misses land alone in their physical page. This is the benchmark the
+// paper uses to illustrate PAC's worst case — lowest coalescing
+// efficiency, highest coalescing-stream utilisation (~10 of 16 streams,
+// Fig. 11c), highest comparison reduction (Fig. 7), and the most
+// stage-2/3 bypasses (45.09%, Fig. 12c).
+type bfsGen struct {
+	cores []*bfsCore
+}
+
+type bfsCore struct {
+	rng      *rng
+	frontier *seqWalk
+	next     *seqWalk
+	edges    region // shared CSR edge array
+	parent   region // shared parent array
+	visited  region // shared visited bitmap words
+	scanLeft int
+	scanAddr uint64
+	iter     uint64
+}
+
+func newBFS(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	edges := l.region(cfg.scaled(256 << 20))
+	parent := l.region(cfg.scaled(64 << 20))
+	visited := l.region(cfg.scaled(8 << 20))
+	g := &bfsGen{cores: make([]*bfsCore, cfg.Cores)}
+	for i := range g.cores {
+		r := newRNG(cfg.Seed, uint64(i)+0x42<<8)
+		g.cores[i] = &bfsCore{
+			rng:      r,
+			frontier: newSeqWalk(l.region(cfg.scaled(4<<20)), 0, 4, 4),
+			next:     newSeqWalk(l.region(cfg.scaled(4<<20)), 0, 4, 4),
+			edges:    edges,
+			parent:   parent,
+			visited:  visited,
+		}
+	}
+	return g
+}
+
+func (g *bfsGen) Name() string { return "BFS" }
+
+func (g *bfsGen) Next(core int) Access {
+	c := g.cores[core]
+	if c.scanLeft > 0 {
+		// Continue the current vertex's adjacency scan: a tiny
+		// sequential run (power-law degree, mostly 1-3 edges).
+		c.scanLeft--
+		a := c.scanAddr
+		c.scanAddr += 4
+		return load(a, 4)
+	}
+	c.iter++
+	switch c.iter % 4 {
+	case 0:
+		return load(c.frontier.next(), 4) // pop next frontier vertex
+	case 1:
+		// Start a new adjacency scan at a random CSR offset.
+		c.scanAddr = c.edges.randAddr(c.rng, 4)
+		deg := 1 + c.rng.intn(3)
+		if c.rng.chance(0.12) {
+			deg += 8 + c.rng.intn(120) // hub vertex: a long CSR run
+		}
+		c.scanLeft = deg - 1
+		a := c.scanAddr
+		c.scanAddr += 4
+		return load(a, 4)
+	case 2:
+		if c.rng.chance(0.5) {
+			return atomic(c.visited.randAddr(c.rng, 8), 8) // CAS visited
+		}
+		return load(c.parent.randAddr(c.rng, 8), 8)
+	default:
+		return store(c.next.next(), 4) // push into next frontier
+	}
+}

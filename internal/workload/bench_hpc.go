@@ -1,0 +1,111 @@
+package workload
+
+// HPC application proxies: HPCG (conjugate-gradient with a 27-point
+// stencil) and SSCA#2 (HPCS graph analysis).
+
+func init() {
+	register("HPCG", newHPCG)
+	register("SSCA2", newSSCA2)
+}
+
+// hpcgGen models the dominant HPCG kernel, a CSR sparse matrix-vector
+// multiply on a 27-point 3D stencil. Matrix values and column indices
+// stream sequentially (the CSR arrays are shared and cyclically
+// partitioned, so cores converge on the same blocks); x-vector gathers
+// follow the stencil's three-plane structure, clustering into a handful
+// of pages per row band; y-results stream out. The tiny 8B payloads per
+// element give HPCG the low transaction efficiency dissected in
+// Figure 10b.
+type hpcgGen struct {
+	cores []*hpcgCore
+}
+
+type hpcgCore struct {
+	rng    *rng
+	m      *phaseMachine
+	x      region
+	nx, ny uint64
+	row    uint64
+}
+
+func newHPCG(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	vals := l.region(cfg.scaled(64 << 20)) // shared CSR values
+	cols := l.region(cfg.scaled(32 << 20)) // shared CSR column indices
+	x := l.region(cfg.scaled(32 << 20))    // shared x vector
+	g := &hpcgGen{cores: make([]*hpcgCore, cfg.Cores)}
+	for i := range g.cores {
+		r := newRNG(cfg.Seed, uint64(i)+0x48<<8)
+		c := &hpcgCore{rng: r, x: x, nx: 64, ny: 64, row: r.u64n(1 << 18)}
+		valsW := newInterleavedWalk(vals, i, cfg.Cores, 8, 32)
+		colsW := newInterleavedWalk(cols, i, cfg.Cores, 4, 32)
+		yW := newSeqWalk(l.region(cfg.scaled(8<<20)), 0, 8, 8)
+		stencil := func() Access {
+			// x[row + dz*nx*ny + dy*nx + dx]: same-plane
+			// neighbours share pages; +/-1 planes are nearby.
+			dx := uint64(c.rng.intn(3))
+			dy := uint64(c.rng.intn(3))
+			dz := uint64(c.rng.intn(3))
+			elem := c.row + dx + dy*c.nx + dz*c.nx*c.ny
+			return load(c.x.at(elem*8), 8)
+		}
+		advance := func() Access {
+			c.row += 1 + c.rng.u64n(2)
+			return store(yW.next(), 8)
+		}
+		c.m = newPhaseMachine(
+			phase{loadsOf(valsW.next, 8), 27}, // row's 27 values
+			phase{loadsOf(colsW.next, 4), 14}, // column indices
+			phase{stencil, 9},                 // x gathers, one plane band
+			phase{advance, 1},                 // y[row] store, next row
+		)
+		g.cores[i] = c
+	}
+	return g
+}
+
+func (g *hpcgGen) Name() string { return "HPCG" }
+
+func (g *hpcgGen) Next(core int) Access { return g.cores[core].m.next() }
+
+// ssca2Gen models SSCA#2 kernel 4 (betweenness centrality): bursts of
+// sequential edge-list scanning at random graph positions, uniformly
+// random vertex metadata reads, atomic accumulations into a shared score
+// array, and traversal-stack pushes. Roughly half the accesses land in
+// disparate pages, which places SSCA2 in the lower half of the
+// coalescing-efficiency chart and keeps it stable under multiprocessing.
+type ssca2Gen struct {
+	cores []*ssca2Core
+}
+
+type ssca2Core struct {
+	m *phaseMachine
+}
+
+func newSSCA2(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	edges := l.region(cfg.scaled(128 << 20))
+	verts := l.region(cfg.scaled(32 << 20))
+	bc := l.region(cfg.scaled(16 << 20))
+	g := &ssca2Gen{cores: make([]*ssca2Core, cfg.Cores)}
+	for i := range g.cores {
+		r := newRNG(cfg.Seed, uint64(i)+0x53<<8)
+		burst := newPageBurst(edges, r, 3, 6, 64, 8)
+		stack := newSeqWalk(l.region(cfg.scaled(2<<20)), 0, 8, 8)
+		hot := newHotWalk(l, 32<<10) // traversal bookkeeping
+		randVert := func() Access { return load(verts.randAddr(r, 8), 8) }
+		accum := func() Access { return atomic(bc.randAddr(r, 8), 8) }
+		g.cores[i] = &ssca2Core{m: newPhaseMachine(
+			phase{loadsOf(burst.next, 8), 4},  // adjacency scan burst
+			phase{loadsOf(hot.next, 8), 48},   // path bookkeeping
+			phase{randVert, 2},                // vertex metadata lookups
+			phase{accum, 1},                   // centrality accumulation
+			phase{storesOf(stack.next, 8), 2}, // stack pushes
+		)}
+	}
+	return g
+}
+
+func (g *ssca2Gen) Name() string { return "SSCA2" }
+
+func (g *ssca2Gen) Next(core int) Access { return g.cores[core].m.next() }

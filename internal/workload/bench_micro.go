@@ -1,0 +1,121 @@
+package workload
+
+// Microbenchmarks: STREAM (McCalpin) and Gather/Scatter (GS).
+
+func init() {
+	register("STREAM", newSTREAM)
+	register("GS", newGS)
+}
+
+// streamGen models the STREAM triad a[i] = b[i] + s*c[i] as the compiler
+// actually emits it: unrolled/vectorized, so each array is streamed in
+// runs of 32 consecutive 8B elements (4 cache blocks) before switching
+// arrays. Almost all accesses hit the L1 thanks to spatial locality; the
+// LLC miss stream is short runs of consecutive blocks per array. The
+// paper notes that for STREAM "only a small portion of the requests are
+// routed to the PAC" (§5.3.6) while those that are coalesce well.
+type streamGen struct {
+	cores []*streamCore
+}
+
+type streamCore struct {
+	m    *phaseMachine
+	iter uint64
+}
+
+func newSTREAM(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	// Arrays sized so the combined working set sits mostly in the LLC:
+	// the paper observes that for STREAM "the majority of memory
+	// accesses are sequential and satisfied by the multilevel cache"
+	// and only a small portion reaches the PAC (§5.3.6).
+	size := cfg.scaled(128 << 10)
+	g := &streamGen{cores: make([]*streamCore, cfg.Cores)}
+	for i := range g.cores {
+		a := newSeqWalk(l.region(size), 0, 8, 8)
+		b := newSeqWalk(l.region(size), 0, 8, 8)
+		c := newSeqWalk(l.region(size), 0, 8, 8)
+		g.cores[i] = &streamCore{m: newPhaseMachine(
+			phase{loadsOf(b.next, 8), 32},
+			phase{loadsOf(c.next, 8), 32},
+			phase{storesOf(a.next, 8), 32},
+		)}
+	}
+	return g
+}
+
+func (g *streamGen) Name() string { return "STREAM" }
+
+func (g *streamGen) Next(core int) Access {
+	c := g.cores[core]
+	c.iter++
+	// A barrier separates successive STREAM kernels.
+	if c.iter%100_000 == 0 {
+		return fence()
+	}
+	return c.m.next()
+}
+
+// gsGen models a gather/scatter kernel over a pre-sorted index array:
+// x[i] = y[idx[i]] followed by a scatter phase z[idx[j]] = w[j]. The index
+// array is shared and partitioned cyclically across cores. Because the
+// indices are sorted (the common case after binning), the gathered
+// addresses advance monotonically with small random gaps, producing runs
+// of adjacent cache blocks inside each page — the access structure behind
+// GS's top-of-chart coalescing efficiency (Figure 6a) and its 26.06% PAC
+// speedup (Figure 15). Gathers are issued in vectorized groups of 8
+// (AVX-512-style), so the adjacency arrives within the coalescing window.
+type gsGen struct {
+	cores []*gsCore
+}
+
+type gsCore struct {
+	m *phaseMachine
+}
+
+func newGS(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	// The index array is shared and cyclically partitioned; gathered
+	// and scattered tables are shared too.
+	idxShared := l.region(cfg.scaled(16 << 20))
+	gatherTab := l.region(cfg.scaled(64 << 20))
+	scatterTab := l.region(cfg.scaled(64 << 20))
+	// Gathers follow a Zipf-like split: half hit a hot table that stays
+	// LLC-resident, half touch the cold tables.
+	hotTab := l.region(cfg.scaled(3 << 20))
+	g := &gsGen{cores: make([]*gsCore, cfg.Cores)}
+	for i := range g.cores {
+		r := newRNG(cfg.Seed, uint64(i)+0x65<<8)
+		idx := newInterleavedWalk(idxShared, i, cfg.Cores, 4, 32)
+		gatherCold := newPageBurst(gatherTab, r, 4, 8, 64, 8)
+		gatherHot := newPageBurst(hotTab, r, 4, 8, 64, 8)
+		scatterCold := newPageBurst(scatterTab, r, 4, 8, 64, 8)
+		scatterHot := newPageBurst(hotTab, r, 4, 8, 64, 8)
+		out := newSeqWalk(l.region(cfg.scaled(4<<20)), 0, 8, 8)
+		hot := newHotWalk(l, 32<<10) // per-element arithmetic operands
+		gather := func() Access {
+			if r.chance(0.5) {
+				return load(gatherHot.next(), 8)
+			}
+			return load(gatherCold.next(), 8)
+		}
+		scatter := func() Access {
+			if r.chance(0.5) {
+				return store(scatterHot.next(), 8)
+			}
+			return store(scatterCold.next(), 8)
+		}
+		g.cores[i] = &gsCore{m: newPhaseMachine(
+			phase{loadsOf(idx.next, 4), 8},  // read 8 indices
+			phase{gather, 8},                // vector gather
+			phase{loadsOf(hot.next, 8), 64}, // combine/compute
+			phase{storesOf(out.next, 8), 8}, // store results
+			phase{scatter, 8},               // vector scatter
+		)}
+	}
+	return g
+}
+
+func (g *gsGen) Name() string { return "GS" }
+
+func (g *gsGen) Next(core int) Access { return g.cores[core].m.next() }

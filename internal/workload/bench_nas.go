@@ -1,0 +1,272 @@
+package workload
+
+// NAS Parallel Benchmark proxies: EP, MG, CG, LU, SP, and IS.
+
+func init() {
+	register("EP", newEP)
+	register("MG", newMG)
+	register("CG", newCG)
+	register("LU", newLU)
+	register("SP", newSP)
+	register("IS", newIS)
+}
+
+// epGen models NAS EP (embarrassingly parallel): each core repeatedly
+// fills and reduces a private buffer of Gaussian pairs with pure unit
+// stride and no sharing, in long unrolled runs. Its LLC misses are
+// perfectly sequential, which is why EP tops the coalescing-efficiency
+// chart (>70% in Fig. 6a) and achieves >90% bank-conflict reduction.
+type epGen struct {
+	cores []*epCore
+}
+
+type epCore struct{ m *phaseMachine }
+
+func newEP(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	g := &epGen{cores: make([]*epCore, cfg.Cores)}
+	for i := range g.cores {
+		buf := newSeqWalk(l.region(cfg.scaled(16<<20)), 0, 8, 8)
+		hot := newHotWalk(l, 16<<10) // Gaussian-pair computation state
+		g.cores[i] = &epCore{m: newPhaseMachine(
+			phase{storesOf(buf.next, 8), 32}, // emit a batch of pairs
+			phase{loadsOf(hot.next, 8), 160}, // EP is compute-dominated
+		)}
+	}
+	return g
+}
+
+func (g *epGen) Name() string { return "EP" }
+
+func (g *epGen) Next(core int) Access { return g.cores[core].m.next() }
+
+// mgGen models NAS MG (multigrid): V-cycles over a hierarchy of 3D grids.
+// Relaxation sweeps are unit-stride in long runs; restriction and
+// prolongation visit every other element. Both phases produce page-local
+// runs, placing MG near the top of the coalescing chart. Grid-level
+// switches are separated by barriers.
+type mgGen struct {
+	cores []*mgCore
+}
+
+type mgCore struct {
+	machines []*phaseMachine
+	level    int
+	left     int
+}
+
+func newMG(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	g := &mgGen{cores: make([]*mgCore, cfg.Cores)}
+	for i := range g.cores {
+		c := &mgCore{left: 8192}
+		size := cfg.scaled(32 << 20)
+		for lvl := 0; lvl < 4; lvl++ {
+			grid := l.region(size)
+			stride := uint64(8) << uint(lvl%2) // alternate 8B/16B strides
+			w := newSeqWalk(grid, 0, stride, 8)
+			// The store sweep trails half a grid behind the load
+			// sweep (red/black relaxation), keeping the two miss
+			// streams distinct for the stride prefetcher.
+			wst := newSeqWalk(grid, grid.size/2, stride, 8)
+			hot := newHotWalk(l, 16<<10)
+			c.machines = append(c.machines, newPhaseMachine(
+				phase{loadsOf(w.next, 8), 32},
+				phase{loadsOf(hot.next, 8), 64}, // stencil re-reads
+				phase{storesOf(wst.next, 8), 16},
+			))
+			size /= 8 // coarser 3D grids shrink 8x
+			if size < 4<<12 {
+				size = 4 << 12
+			}
+		}
+		g.cores[i] = c
+	}
+	return g
+}
+
+func (g *mgGen) Name() string { return "MG" }
+
+func (g *mgGen) Next(core int) Access {
+	c := g.cores[core]
+	if c.left == 0 {
+		c.level = (c.level + 1) % len(c.machines)
+		c.left = 8192 >> uint(c.level*2)
+		if c.left < 128 {
+			c.left = 128
+		}
+		return fence()
+	}
+	c.left--
+	return c.machines[c.level].next()
+}
+
+// cgGen models NAS CG: sparse matrix-vector products where the matrix has
+// a random sparsity pattern (unlike HPCG's structured stencil). Row data
+// streams sequentially in runs; x-vector gathers are mostly uniform over
+// the large shared vector, with a banded fraction landing near recent
+// gathers (CG's matrix rows cluster around the diagonal), which is the
+// only coalescing opportunity the gathers offer.
+type cgGen struct {
+	cores []*cgCore
+}
+
+type cgCore struct{ m *phaseMachine }
+
+func newCG(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	x := l.region(cfg.scaled(48 << 20))
+	g := &cgGen{cores: make([]*cgCore, cfg.Cores)}
+	for i := range g.cores {
+		r := newRNG(cfg.Seed, uint64(i)+0x43<<8)
+		vals := newSeqWalk(l.region(cfg.scaled(64<<20)), 0, 8, 8)
+		p := newSeqWalk(l.region(cfg.scaled(8<<20)), 0, 8, 8)
+		band := newPageBurst(x, r, 3, 5, 64, 8)
+		gather := func() Access {
+			if r.chance(0.4) {
+				return load(band.next(), 8) // diagonal-band locality
+			}
+			return load(x.randAddr(r, 8), 8)
+		}
+		g.cores[i] = &cgCore{m: newPhaseMachine(
+			phase{loadsOf(vals.next, 8), 16},
+			phase{gather, 8},
+			phase{storesOf(p.next, 8), 4},
+		)}
+	}
+	return g
+}
+
+func (g *cgGen) Name() string { return "CG" }
+
+func (g *cgGen) Next(core int) Access { return g.cores[core].m.next() }
+
+// luGen models NAS LU (SSOR solver): lower/upper triangular sweeps that
+// stream a shared matrix panel with unit stride (cyclically partitioned,
+// so cores converge on the same panel blocks), plus a private
+// right-hand-side stream. Dense unit-stride panels dominate, giving LU
+// high coalescing efficiency (>70% in Fig. 6a).
+type luGen struct {
+	cores []*luCore
+}
+
+type luCore struct{ m *phaseMachine }
+
+func newLU(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	panel := l.region(cfg.scaled(64 << 20)) // shared factor panel
+	g := &luGen{cores: make([]*luCore, cfg.Cores)}
+	for i := range g.cores {
+		pw := newInterleavedWalk(panel, i, cfg.Cores, 8, 32)
+		upd := newSeqWalk(l.region(cfg.scaled(32<<20)), 0, 8, 8)
+		rhs := newSeqWalk(l.region(cfg.scaled(8<<20)), 0, 8, 8)
+		hot := newHotWalk(l, 16<<10)
+		g.cores[i] = &luCore{m: newPhaseMachine(
+			phase{loadsOf(pw.next, 8), 32},   // shared panel read
+			phase{loadsOf(upd.next, 8), 16},  // private block read
+			phase{loadsOf(hot.next, 8), 48},  // triangular-solve FLOPs
+			phase{storesOf(upd.next, 8), 16}, // private block update
+			phase{loadsOf(rhs.next, 8), 8},
+		)}
+	}
+	return g
+}
+
+func (g *luGen) Name() string { return "LU" }
+
+func (g *luGen) Next(core int) Access { return g.cores[core].m.next() }
+
+// spGen models NAS SP (scalar pentadiagonal): ADI sweeps over five
+// solution arrays of a 3D grid. All three sweep directions keep the
+// innermost loop over the unit-stride dimension (the standard layout), so
+// the traffic streams block-sequentially; the directions differ in their
+// reuse distance, modelled by restarting the walks at plane-sized offsets
+// between sweeps. SP touches the most bytes per unit of work of the
+// suite, which is why it tops the bandwidth-savings chart (Figure 10c).
+type spGen struct {
+	cores []*spCore
+}
+
+type spCore struct {
+	arrays   []*seqWalk
+	machines []*phaseMachine // one per sweep direction
+	sweep    int
+	left     int
+}
+
+func newSP(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	g := &spGen{cores: make([]*spCore, cfg.Cores)}
+	for i := range g.cores {
+		c := &spCore{left: 8192}
+		var regions []region
+		for v := 0; v < 5; v++ {
+			regions = append(regions, l.region(cfg.scaled(24<<20)))
+		}
+		hot := newHotWalk(l, 16<<10)
+		// One machine per ADI direction; each direction restarts its
+		// walks at a different plane offset but streams unit-stride.
+		for sweep := uint64(0); sweep < 3; sweep++ {
+			var phases []phase
+			for _, reg := range regions {
+				w := newSeqWalk(reg, sweep*reg.size/3, 8, 8)
+				ws := newSeqWalk(reg, sweep*reg.size/3+reg.size/2, 8, 8)
+				phases = append(phases,
+					phase{loadsOf(w.next, 8), 16},
+					phase{loadsOf(hot.next, 8), 24}, // solver arithmetic
+					phase{storesOf(ws.next, 8), 8},
+				)
+			}
+			c.machines = append(c.machines, newPhaseMachine(phases...))
+		}
+		g.cores[i] = c
+	}
+	return g
+}
+
+func (g *spGen) Name() string { return "SP" }
+
+func (g *spGen) Next(core int) Access {
+	c := g.cores[core]
+	if c.left == 0 {
+		c.sweep = (c.sweep + 1) % len(c.machines)
+		c.left = 8192
+		return fence()
+	}
+	c.left--
+	return c.machines[c.sweep].next()
+}
+
+// isGen models NAS IS (integer bucket sort): runs of sequential key reads
+// from a shared, cyclically partitioned key array; uniformly random
+// atomic increments into a shared histogram; and a sequential
+// ranked-output phase. The random histogram traffic scatters across
+// pages, keeping IS in the lower-middle of the coalescing chart.
+type isGen struct {
+	cores []*isCore
+}
+
+type isCore struct{ m *phaseMachine }
+
+func newIS(cfg Config) Generator {
+	l := newLayout(cfg.Proc)
+	keys := l.region(cfg.scaled(32 << 20))
+	hist := l.region(cfg.scaled(24 << 20))
+	g := &isGen{cores: make([]*isCore, cfg.Cores)}
+	for i := range g.cores {
+		r := newRNG(cfg.Seed, uint64(i)+0x49<<8)
+		kw := newInterleavedWalk(keys, i, cfg.Cores, 4, 32)
+		out := newSeqWalk(l.region(cfg.scaled(32<<20)), 0, 4, 4)
+		bump := func() Access { return atomic(hist.randAddr(r, 4), 4) }
+		g.cores[i] = &isCore{m: newPhaseMachine(
+			phase{loadsOf(kw.next, 4), 32},
+			phase{bump, 4},
+			phase{storesOf(out.next, 4), 16},
+		)}
+	}
+	return g
+}
+
+func (g *isGen) Name() string { return "IS" }
+
+func (g *isGen) Next(core int) Access { return g.cores[core].m.next() }

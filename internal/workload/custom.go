@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// The custom-workload builder lets users compose their own benchmark from
+// the same pattern primitives the built-in suite uses, without writing a
+// Generator by hand: declare regions, then a cyclic list of phases over
+// them. Specs are plain data, so they can come from JSON or flags.
+
+// RegionSpec declares one data structure of a custom workload.
+type RegionSpec struct {
+	// Name identifies the region in phase specs.
+	Name string `json:"name"`
+	// Bytes is the region size (rounded up to whole pages).
+	Bytes uint64 `json:"bytes"`
+	// Shared lays the region out once for all cores; otherwise each
+	// core gets a private copy.
+	Shared bool `json:"shared"`
+}
+
+// PatternKind selects the access pattern of one phase.
+type PatternKind string
+
+const (
+	// PatternSeq walks the region sequentially with the given stride.
+	PatternSeq PatternKind = "seq"
+	// PatternInterleaved walks a shared region under the chunked-cyclic
+	// schedule (cores converge on the same blocks).
+	PatternInterleaved PatternKind = "interleaved"
+	// PatternBurst touches runs of adjacent blocks inside random pages.
+	PatternBurst PatternKind = "burst"
+	// PatternRandom touches uniformly random element-aligned addresses.
+	PatternRandom PatternKind = "random"
+)
+
+// PhaseSpec declares one step of the workload's inner loop.
+type PhaseSpec struct {
+	// Region names the target region.
+	Region string `json:"region"`
+	// Pattern selects the address pattern.
+	Pattern PatternKind `json:"pattern"`
+	// Op is "load", "store", or "atomic".
+	Op string `json:"op"`
+	// Run is how many accesses are issued back-to-back (default 1).
+	Run int `json:"run"`
+	// Size is the access width in bytes (default 8).
+	Size uint32 `json:"size"`
+	// Stride is the byte stride for PatternSeq (default Size).
+	Stride uint64 `json:"stride"`
+	// MinRun and MaxRun bound PatternBurst runs in blocks (defaults 4
+	// and 8).
+	MinRun int `json:"minRun"`
+	MaxRun int `json:"maxRun"`
+}
+
+// CustomSpec is a complete declarative workload.
+type CustomSpec struct {
+	// Name labels the workload.
+	Name string `json:"name"`
+	// Regions declares the data structures.
+	Regions []RegionSpec `json:"regions"`
+	// Phases is the cyclic inner loop.
+	Phases []PhaseSpec `json:"phases"`
+	// FenceEvery inserts a fence after this many accesses (0 = never).
+	FenceEvery int `json:"fenceEvery"`
+}
+
+// customGen implements Generator over a CustomSpec.
+type customGen struct {
+	name       string
+	cores      []*customCore
+	fenceEvery int
+}
+
+type customCore struct {
+	m     *phaseMachine
+	count int
+}
+
+// NewCustom builds a generator from a declarative spec.
+func NewCustom(spec CustomSpec, cfg Config) (Generator, error) {
+	cfg = cfg.normalized()
+	if spec.Name == "" {
+		spec.Name = "CUSTOM"
+	}
+	if len(spec.Regions) == 0 || len(spec.Phases) == 0 {
+		return nil, fmt.Errorf("workload: custom spec needs regions and phases")
+	}
+	l := newLayout(cfg.Proc)
+
+	shared := map[string]region{}
+	for _, rs := range spec.Regions {
+		if rs.Bytes == 0 {
+			return nil, fmt.Errorf("workload: region %q has no size", rs.Name)
+		}
+		if rs.Shared {
+			shared[rs.Name] = l.region(rs.Bytes)
+		}
+	}
+
+	g := &customGen{name: spec.Name, fenceEvery: spec.FenceEvery}
+	for core := 0; core < cfg.Cores; core++ {
+		// Private regions per core.
+		private := map[string]region{}
+		for _, rs := range spec.Regions {
+			if !rs.Shared {
+				private[rs.Name] = l.region(rs.Bytes)
+			}
+		}
+		lookup := func(name string) (region, bool) {
+			if r, ok := shared[name]; ok {
+				return r, true
+			}
+			r, ok := private[name]
+			return r, ok
+		}
+		rng := newRNG(cfg.Seed, uint64(core)+0xC057<<8)
+
+		var phases []phase
+		for pi, ps := range spec.Phases {
+			reg, ok := lookup(ps.Region)
+			if !ok {
+				return nil, fmt.Errorf("workload: phase %d references unknown region %q", pi, ps.Region)
+			}
+			emit, err := buildEmitter(ps, reg, rng, core, cfg.Cores)
+			if err != nil {
+				return nil, fmt.Errorf("workload: phase %d: %w", pi, err)
+			}
+			run := ps.Run
+			if run <= 0 {
+				run = 1
+			}
+			phases = append(phases, phase{emit, run})
+		}
+		g.cores = append(g.cores, &customCore{m: newPhaseMachine(phases...)})
+	}
+	return g, nil
+}
+
+// buildEmitter constructs the per-phase access source.
+func buildEmitter(ps PhaseSpec, reg region, rng *rng, core, cores int) (func() Access, error) {
+	size := ps.Size
+	if size == 0 {
+		size = 8
+	}
+	var op mem.Op
+	switch ps.Op {
+	case "load", "":
+		op = mem.OpLoad
+	case "store":
+		op = mem.OpStore
+	case "atomic":
+		op = mem.OpAtomic
+	default:
+		return nil, fmt.Errorf("unknown op %q", ps.Op)
+	}
+	wrap := func(next func() uint64) func() Access {
+		switch op {
+		case mem.OpStore:
+			return storesOf(next, size)
+		case mem.OpAtomic:
+			return func() Access { return atomic(next(), size) }
+		default:
+			return loadsOf(next, size)
+		}
+	}
+	switch ps.Pattern {
+	case PatternSeq, "":
+		stride := ps.Stride
+		if stride == 0 {
+			stride = uint64(size)
+		}
+		w := newSeqWalk(reg, 0, stride, size)
+		return wrap(w.next), nil
+	case PatternInterleaved:
+		// Chunked-cyclic schedule over the (ideally shared) region:
+		// 32B chunks put neighbouring cores on the same cache blocks.
+		w := newInterleavedWalk(reg, core, cores, size, 32)
+		return wrap(w.next), nil
+	case PatternBurst:
+		minRun, maxRun := ps.MinRun, ps.MaxRun
+		if minRun <= 0 {
+			minRun = 4
+		}
+		if maxRun < minRun {
+			maxRun = minRun + 4
+		}
+		b := newPageBurst(reg, rng, minRun, maxRun, 64, size)
+		return wrap(b.next), nil
+	case PatternRandom:
+		return wrap(func() uint64 { return reg.randAddr(rng, uint64(size)) }), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", ps.Pattern)
+	}
+}
+
+// Name implements Generator.
+func (g *customGen) Name() string { return g.name }
+
+// Next implements Generator.
+func (g *customGen) Next(core int) Access {
+	c := g.cores[core]
+	c.count++
+	if g.fenceEvery > 0 && c.count%g.fenceEvery == 0 {
+		return fence()
+	}
+	return c.m.next()
+}

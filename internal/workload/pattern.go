@@ -1,0 +1,273 @@
+package workload
+
+import "github.com/pacsim/pac/internal/mem"
+
+// rng is a small xorshift64* generator. Each core of each benchmark owns a
+// private rng seeded from (Config.Seed, benchmark, core), which is what
+// makes per-core streams deterministic and interleave-independent.
+type rng struct{ s uint64 }
+
+// newRNG derives a well-mixed rng from a seed and a stream discriminator.
+func newRNG(seed, stream uint64) *rng {
+	s := seed*0x9e3779b97f4a7c15 + stream*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	r := &rng{s: s | 1}
+	// Warm up so nearby seeds diverge.
+	r.next()
+	r.next()
+	return r
+}
+
+// next returns the next 64-bit pseudo-random value.
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("workload: intn with non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// u64n returns a value in [0, n). n must be positive.
+func (r *rng) u64n(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: u64n with zero bound")
+	}
+	return r.next() % n
+}
+
+// f64 returns a value in [0, 1).
+func (r *rng) f64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// chance reports true with probability p.
+func (r *rng) chance(p float64) bool { return r.f64() < p }
+
+// region is a contiguous physical memory range backing one data structure
+// (an array, a graph's edge list, a grid level, ...).
+type region struct {
+	base uint64
+	size uint64
+}
+
+// at returns the address at byte offset off, wrapped into the region so
+// generators can treat regions as circular buffers.
+func (g region) at(off uint64) uint64 { return g.base + off%g.size }
+
+// pages returns the number of whole pages in the region.
+func (g region) pages() uint64 { return g.size / mem.PageSize }
+
+// randPage returns the base address of a uniformly random page.
+func (g region) randPage(r *rng) uint64 {
+	return g.base + r.u64n(g.pages())*mem.PageSize
+}
+
+// randAddr returns a uniformly random element-aligned address.
+func (g region) randAddr(r *rng, align uint64) uint64 {
+	return g.base + r.u64n(g.size/align)*align
+}
+
+// layout hands out disjoint regions within one process's address space.
+// Processes are spaced 64GiB apart so no page frame is ever shared between
+// them — the property that degrades MSHR-based coalescing under
+// multiprocessing (paper Figure 6b).
+type layout struct{ cursor uint64 }
+
+// newLayout starts a layout for the given process index.
+func newLayout(proc int) *layout {
+	return &layout{cursor: (uint64(proc) + 1) << 36}
+}
+
+// region carves the next region of the given size (rounded up to pages),
+// separated from its neighbour by one guard page so distinct structures
+// never share a page frame.
+func (l *layout) region(size uint64) region {
+	size = (size + mem.PageSize - 1) &^ uint64(mem.PageSize-1)
+	g := region{base: l.cursor, size: size}
+	l.cursor += size + mem.PageSize
+	return g
+}
+
+// load/store/atomic are shorthand constructors for accesses.
+func load(addr uint64, size uint32) Access {
+	return Access{Addr: addr, Size: size, Op: mem.OpLoad}
+}
+
+func store(addr uint64, size uint32) Access {
+	return Access{Addr: addr, Size: size, Op: mem.OpStore}
+}
+
+func atomic(addr uint64, size uint32) Access {
+	return Access{Addr: addr, Size: size, Op: mem.OpAtomic}
+}
+
+func fence() Access { return Access{Op: mem.OpFence} }
+
+// seqWalk is a helper pattern: an endless element-by-element walk over a
+// region, the shape of dense array sweeps (STREAM, LU panels, NAS line
+// sweeps). Stride is in bytes; elem is the access width.
+type seqWalk struct {
+	reg    region
+	off    uint64
+	stride uint64
+	elem   uint32
+}
+
+func newSeqWalk(reg region, start, stride uint64, elem uint32) *seqWalk {
+	return &seqWalk{reg: reg, off: start % reg.size, stride: stride, elem: elem}
+}
+
+// next returns the current address and advances the walk.
+func (w *seqWalk) next() uint64 {
+	a := w.reg.base + w.off
+	w.off += w.stride
+	if w.off >= w.reg.size {
+		w.off -= w.reg.size
+	}
+	return a
+}
+
+// interleavedWalk walks a shared region under a chunked-cyclic schedule:
+// core `core` of `cores` visits chunks core, core+cores, core+2*cores...,
+// each chunk holding chunkBytes of consecutive elements. With chunkBytes
+// below the block size, neighbouring cores touch the same cache blocks
+// within a short window — the access structure that MSHR-based merging
+// (the paper's DMC baseline) feeds on; larger chunks reduce the sharing.
+type interleavedWalk struct {
+	reg        region
+	elem       uint32
+	chunkBytes uint64
+	cores      uint64
+	off        uint64 // offset within current chunk
+	chunk      uint64 // current chunk index (global numbering)
+}
+
+func newInterleavedWalk(reg region, core, cores int, elem uint32, chunkBytes uint64) *interleavedWalk {
+	if chunkBytes%uint64(elem) != 0 {
+		panic("workload: chunkBytes must be a multiple of elem")
+	}
+	return &interleavedWalk{
+		reg:        reg,
+		elem:       elem,
+		chunkBytes: chunkBytes,
+		cores:      uint64(cores),
+		chunk:      uint64(core),
+	}
+}
+
+func (w *interleavedWalk) next() uint64 {
+	a := w.reg.at(w.chunk*w.chunkBytes + w.off)
+	w.off += uint64(w.elem)
+	if w.off >= w.chunkBytes {
+		w.off = 0
+		w.chunk += w.cores
+	}
+	return a
+}
+
+// phase is one step of a benchmark's inner loop: emit() produces accesses
+// and run is how many are issued back-to-back before the next phase.
+// Back-to-back runs model unrolled/vectorized loops and hardware
+// prefetching: adjacent cache blocks are touched within a few cycles,
+// which is what gives the coalescing window its adjacency.
+type phase struct {
+	emit func() Access
+	run  int
+}
+
+// phaseMachine cycles through phases, emitting each phase's run of
+// accesses before advancing. Cycles counts completed full rotations.
+type phaseMachine struct {
+	phases []phase
+	cur    int
+	left   int
+	Cycles uint64
+}
+
+func newPhaseMachine(phases ...phase) *phaseMachine {
+	if len(phases) == 0 {
+		panic("workload: phase machine needs phases")
+	}
+	return &phaseMachine{phases: phases, left: phases[0].run}
+}
+
+func (m *phaseMachine) next() Access {
+	for m.left == 0 {
+		m.cur++
+		if m.cur == len(m.phases) {
+			m.cur = 0
+			m.Cycles++
+		}
+		m.left = m.phases[m.cur].run
+	}
+	m.left--
+	return m.phases[m.cur].emit()
+}
+
+// loadsOf and storesOf adapt an address source to access emitters.
+func loadsOf(next func() uint64, size uint32) func() Access {
+	return func() Access { return load(next(), size) }
+}
+
+func storesOf(next func() uint64, size uint32) func() Access {
+	return func() Access { return store(next(), size) }
+}
+
+// newHotWalk returns a walk over a small private region that stays
+// resident in the L1/LLC: the temporal-locality traffic of a kernel's
+// inner loop (stencil neighbour re-reads, comparison loops, dense FLOP
+// operands). It models each benchmark's compute intensity — accesses that
+// occupy the core without generating memory traffic.
+func newHotWalk(l *layout, bytes uint64) *seqWalk {
+	return newSeqWalk(l.region(bytes), 0, 8, 8)
+}
+
+// pageBurst is a helper pattern: pick a page, then touch a run of
+// consecutive blocks inside it — the shape of blocked/tiled kernels and
+// sorted gathers, and the main source of PAC-coalescable adjacency.
+type pageBurst struct {
+	reg  region
+	rng  *rng
+	addr uint64 // next address within current burst
+	left int    // accesses remaining in current burst
+	step uint64 // advance per access within the burst
+	// minRun/maxRun bound the number of accesses per burst.
+	minRun, maxRun int
+	elem           uint32
+}
+
+func newPageBurst(reg region, r *rng, minRun, maxRun int, step uint64, elem uint32) *pageBurst {
+	return &pageBurst{reg: reg, rng: r, minRun: minRun, maxRun: maxRun, step: step, elem: elem}
+}
+
+// next returns the next address, starting a fresh burst when the current
+// one is exhausted.
+func (b *pageBurst) next() uint64 {
+	if b.left == 0 {
+		b.left = b.minRun
+		if b.maxRun > b.minRun {
+			b.left += b.rng.intn(b.maxRun - b.minRun + 1)
+		}
+		page := b.reg.randPage(b.rng)
+		span := uint64(b.left) * b.step
+		maxStart := uint64(mem.PageSize)
+		if span < maxStart {
+			maxStart -= span
+		} else {
+			maxStart = 1
+		}
+		b.addr = page + b.rng.u64n(maxStart/b.step+1)*b.step
+	}
+	a := b.addr
+	b.addr += b.step
+	b.left--
+	return a
+}

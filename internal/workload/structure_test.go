@@ -1,0 +1,209 @@
+package workload
+
+// Structure tests: verify that each generator actually produces the
+// access pattern its documentation (and the paper's narrative) claims.
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// collect gathers n accesses from core 0, skipping fences.
+func collect(t *testing.T, name string, n int, cfg Config) []Access {
+	t.Helper()
+	g := MustNew(name, cfg)
+	out := make([]Access, 0, n)
+	for len(out) < n {
+		a := g.Next(0)
+		if a.Op != mem.OpFence {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// blockRunLengths returns the lengths of maximal runs of accesses whose
+// block numbers are non-decreasing and within one block of each other —
+// the adjacency runs the coalescer feeds on.
+func blockRunLengths(accs []Access) []int {
+	var runs []int
+	cur := 1
+	for i := 1; i < len(accs); i++ {
+		d := int64(mem.BlockNumber(accs[i].Addr)) - int64(mem.BlockNumber(accs[i-1].Addr))
+		if d == 0 || d == 1 {
+			cur++
+		} else {
+			runs = append(runs, cur)
+			cur = 1
+		}
+	}
+	return append(runs, cur)
+}
+
+func TestStreamUnitStrideRuns(t *testing.T) {
+	accs := collect(t, "STREAM", 2000, Config{Cores: 1, Seed: 1, Scale: 0.05})
+	runs := blockRunLengths(accs)
+	// The triad's per-array runs are 32 elements: long adjacency runs
+	// must dominate.
+	long := 0
+	for _, r := range runs {
+		if r >= 16 {
+			long++
+		}
+	}
+	if long < len(runs)/2 {
+		t.Errorf("STREAM: only %d of %d runs are long", long, len(runs))
+	}
+}
+
+func TestSPUnitStrideInnerLoop(t *testing.T) {
+	accs := collect(t, "SP", 4000, Config{Cores: 1, Seed: 1, Scale: 0.05})
+	adjacent := 0
+	for i := 1; i < len(accs); i++ {
+		d := int64(accs[i].Addr) - int64(accs[i-1].Addr)
+		if d >= 0 && d <= 64 {
+			adjacent++
+		}
+	}
+	// ADI sweeps keep the innermost dimension unit-stride; most
+	// consecutive accesses advance by one element or stay in a block.
+	if frac := float64(adjacent) / float64(len(accs)); frac < 0.5 {
+		t.Errorf("SP: only %.0f%% of accesses advance unit-stride", 100*frac)
+	}
+}
+
+func TestBFSHubRuns(t *testing.T) {
+	accs := collect(t, "BFS", 30_000, Config{Cores: 1, Seed: 3, Scale: 0.05})
+	runs := blockRunLengths(accs)
+	hubs := 0
+	for _, r := range runs {
+		if r >= 16 { // a hub adjacency list spans multiple blocks (4B edges)
+			hubs++
+		}
+	}
+	if hubs == 0 {
+		t.Error("BFS: no hub-vertex adjacency runs found")
+	}
+	// But the stream must remain predominantly scattered.
+	singles := 0
+	for _, r := range runs {
+		if r <= 2 {
+			singles++
+		}
+	}
+	if float64(singles) < 0.5*float64(len(runs)) {
+		t.Errorf("BFS: stream not scattered enough (%d/%d short runs)", singles, len(runs))
+	}
+}
+
+func TestSparseLUPivotShared(t *testing.T) {
+	// Early in a wave, different cores must read the same pivot block.
+	g := MustNew("SPARSELU", Config{Cores: 4, Seed: 9, Scale: 0.05})
+	pagesByCore := make([]map[uint64]bool, 4)
+	for c := 0; c < 4; c++ {
+		pagesByCore[c] = map[uint64]bool{}
+		for i := 0; i < 64; i++ { // the pivot-read phase comes first
+			a := g.Next(c)
+			if a.Op != mem.OpFence {
+				pagesByCore[c][mem.PPN(a.Addr)] = true
+			}
+		}
+	}
+	shared := false
+	for p := range pagesByCore[0] {
+		if pagesByCore[1][p] || pagesByCore[2][p] || pagesByCore[3][p] {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		t.Error("SPARSELU: cores do not converge on a shared pivot block")
+	}
+}
+
+func TestFFTStrideDoubles(t *testing.T) {
+	// The butterfly's hi-side accesses sit one stride above the lo-side,
+	// and the stride doubles per stage: across stages the lo->hi phase
+	// jump takes several distinct large values. A tiny data region makes
+	// stages cycle quickly.
+	g := MustNew("FFT", Config{Cores: 1, Seed: 1, Scale: 0.0001})
+	jumps := map[int64]bool{}
+	var prev uint64
+	for i := 0; i < 60_000; i++ {
+		a := g.Next(0)
+		if prev != 0 {
+			d := int64(a.Addr) - int64(prev)
+			if d > 500 { // phase jump to the strided butterfly side
+				jumps[d] = true
+			}
+		}
+		prev = a.Addr
+	}
+	if len(jumps) < 3 {
+		t.Errorf("FFT: observed only %d distinct butterfly strides (%v)", len(jumps), jumps)
+	}
+}
+
+func TestGSHotColdSplit(t *testing.T) {
+	// About half the gathers land in the small hot table; the rest
+	// spread across the large cold table.
+	accs := collect(t, "GS", 40_000, Config{Cores: 1, Seed: 5, Scale: 0.2})
+	pages := map[uint64]int{}
+	for _, a := range accs {
+		if a.Op == mem.OpLoad {
+			pages[mem.PPN(a.Addr)]++
+		}
+	}
+	// The hot table is tiny, so its pages accumulate far more hits than
+	// any cold page.
+	max := 0
+	for _, c := range pages {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Errorf("GS: no hot pages observed (max page count %d)", max)
+	}
+}
+
+func TestEPMostlyComputePhases(t *testing.T) {
+	accs := collect(t, "EP", 10_000, Config{Cores: 1, Seed: 1, Scale: 0.05})
+	// The 16KB hot region pages recur constantly; EP's traffic must be
+	// dominated by them (compute-bound benchmark).
+	pages := map[uint64]int{}
+	for _, a := range accs {
+		pages[mem.PPN(a.Addr)]++
+	}
+	hot := 0
+	for _, c := range pages {
+		if c > 500 {
+			hot += c
+		}
+	}
+	if frac := float64(hot) / float64(len(accs)); frac < 0.5 {
+		t.Errorf("EP: hot-region fraction %.2f, want compute-dominated (>0.5)", frac)
+	}
+}
+
+func TestISAtomicsScattered(t *testing.T) {
+	accs := collect(t, "IS", 20_000, Config{Cores: 1, Seed: 1, Scale: 0.1})
+	var atomics []uint64
+	for _, a := range accs {
+		if a.Op == mem.OpAtomic {
+			atomics = append(atomics, mem.PPN(a.Addr))
+		}
+	}
+	if len(atomics) == 0 {
+		t.Fatal("IS: no atomics")
+	}
+	distinct := map[uint64]bool{}
+	for _, p := range atomics {
+		distinct[p] = true
+	}
+	if len(distinct) < len(atomics)/4 {
+		t.Errorf("IS: histogram atomics not scattered (%d pages for %d atomics)",
+			len(distinct), len(atomics))
+	}
+}

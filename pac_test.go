@@ -1,0 +1,141 @@
+package pac
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/cache"
+)
+
+func TestCoalescerRoundTrip(t *testing.T) {
+	c := NewCoalescer(DefaultCoalescerParams())
+	// Four adjacent blocks in one page.
+	for i := uint64(0); i < 4; i++ {
+		ok := c.Offer(Request{ID: i + 1, Addr: 0x42000 + i*64, Size: 64, Op: OpLoad}, false)
+		if !ok {
+			t.Fatal("offer rejected on empty coalescer")
+		}
+	}
+	pkts := c.Flush(200)
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets, want 1 coalesced 256B packet: %v", len(pkts), pkts)
+	}
+	if pkts[0].Size != 256 || len(pkts[0].Parents) != 4 {
+		t.Fatalf("bad packet: %+v", pkts[0])
+	}
+	if !c.Drained() {
+		t.Error("coalescer not drained after flush")
+	}
+	st := c.Stats()
+	if got := st.CoalescingEfficiency(); got != 75 {
+		t.Errorf("efficiency = %v, want 75", got)
+	}
+}
+
+func TestCoalescerPopAndOfferBackpressure(t *testing.T) {
+	p := DefaultCoalescerParams()
+	p.InputQueueDepth = 1
+	c := NewCoalescer(p)
+	if !c.Offer(Request{ID: 1, Addr: 0x1000, Size: 64, Op: OpLoad}, false) {
+		t.Fatal("first offer failed")
+	}
+	if c.Offer(Request{ID: 2, Addr: 0x2000, Size: 64, Op: OpLoad}, false) {
+		t.Fatal("second offer should hit the queue bound")
+	}
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if _, ok := c.Pop(); !ok {
+		t.Fatal("no packet after ticking past the timeout")
+	}
+}
+
+func smallSim(bench string, mode Mode) SimConfig {
+	cfg := DefaultSimConfig(bench, mode)
+	cfg.Procs = []ProcSpec{{Benchmark: bench, Cores: 2}}
+	cfg.Scale = 0.02
+	cfg.AccessesPerCore = 3000
+	cfg.Hierarchy = cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.Config{Size: 2 << 10, Ways: 8},
+		LLC:   cache.Config{Size: 128 << 10, Ways: 8},
+	}
+	return cfg
+}
+
+func TestRunBenchmark(t *testing.T) {
+	res, err := RunBenchmark(smallSim("GS", ModePAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.MemPackets == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Name() != "GS" {
+		t.Errorf("Name = %q", res.Name())
+	}
+}
+
+func TestRunBenchmarkRejectsBadConfig(t *testing.T) {
+	if _, err := RunBenchmark(SimConfig{}); err == nil {
+		t.Fatal("empty config should be rejected")
+	}
+}
+
+func TestCompareModes(t *testing.T) {
+	cmp, err := CompareModes(smallSim("GS", ModeNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline == nil || cmp.DMC == nil || cmp.PAC == nil {
+		t.Fatal("missing results")
+	}
+	if cmp.Speedup() <= 0 {
+		t.Errorf("PAC speedup on GS = %.2f%%, want > 0", cmp.Speedup())
+	}
+	if cmp.BankConflictReduction() <= 0 {
+		t.Errorf("conflict reduction = %.2f%%, want > 0", cmp.BankConflictReduction())
+	}
+	if cmp.EnergySaving() <= 0 {
+		t.Errorf("energy saving = %.2f%%, want > 0", cmp.EnergySaving())
+	}
+	if cmp.PAC.CoalescingEfficiency() <= cmp.DMC.CoalescingEfficiency() {
+		t.Error("PAC efficiency should exceed DMC")
+	}
+	_ = cmp.DMCSpeedup() // must not panic
+}
+
+func TestBenchmarksList(t *testing.T) {
+	b := Benchmarks()
+	if len(b) != 14 {
+		t.Fatalf("got %d benchmarks, want 14", len(b))
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	if len(Experiments()) != 22 {
+		t.Fatalf("got %d experiments, want 22", len(Experiments()))
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", DefaultExperimentOptions(), nil); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunExperimentFig11a(t *testing.T) {
+	// fig11a is analytic (no simulation), so it is fast at any scale.
+	tables, err := RunExperiment("fig11a", DefaultExperimentOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Rows() == 0 {
+		t.Fatal("fig11a produced no data")
+	}
+}
+
+func TestDeviceProfiles(t *testing.T) {
+	if HMC21.MaxReqBlocks() != 4 || HBM.MaxReqBlocks() != 16 || HMC10.MaxReqBlocks() != 2 {
+		t.Error("device profiles wrong")
+	}
+}
