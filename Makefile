@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench figures figures-quick \
-        examples fuzz clean
+.PHONY: all build test test-short test-race smoke vet fmt bench figures \
+        figures-quick examples fuzz clean
 
 all: vet test build
 
@@ -16,6 +16,17 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full suite under the race detector; the experiment harness runs its
+# simulations on a concurrent worker pool, so this is tier-1 for any
+# change to internal/experiments.
+test-race:
+	$(GO) test -race ./...
+
+# End-to-end smoke: the whole paper reproduction at quick scale on four
+# workers (output is byte-identical to -parallel 1).
+smoke:
+	$(GO) run ./cmd/pacsim -experiment all -quick -parallel 4
 
 vet:
 	$(GO) vet ./...

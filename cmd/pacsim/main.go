@@ -6,13 +6,17 @@
 //
 //	pacsim -list
 //	pacsim -experiment fig6a [-accesses N] [-cores N] [-scale F] [-csv]
-//	pacsim -experiment all
+//	pacsim -experiment all [-parallel N]
 //	pacsim -bench GS [-accesses N]
 //	pacsim -config run.json -experiment all
 //
+// Experiment runs precompute their simulations on -parallel workers
+// (default GOMAXPROCS); the rendered tables are byte-identical to a
+// sequential (-parallel 1) run.
+//
 // A JSON config file (-config) carries the same options as the flags:
 //
-//	{"cores": 8, "accessesPerCore": 100000, "scale": 1.0, "seed": 42}
+//	{"cores": 8, "accessesPerCore": 100000, "scale": 1.0, "seed": 42, "parallel": 8}
 //
 // The default scale matches the paper's Table 1 machine (8 cores, 100k
 // accesses per core); -quick shrinks everything for a fast smoke run.
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +46,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		chart      = flag.Bool("chart", false, "append an ASCII bar chart of each table's last numeric column")
 		quick      = flag.Bool("quick", false, "fast smoke configuration (small caches, short traces)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation workers for experiment runs (1 = sequential; results are identical either way)")
 		config     = flag.String("config", "", "JSON options file (overridden by explicit flags)")
 		jsonOut    = flag.Bool("json", false, "with -bench: emit the full three-mode results as JSON")
 		outDir     = flag.String("out", "", "also write each experiment table to DIR/<id>.txt and .csv")
@@ -82,6 +88,9 @@ func main() {
 		if !set["seed"] && fileOpts.Seed != 0 {
 			opts.Seed = fileOpts.Seed
 		}
+		if !set["parallel"] && fileOpts.Parallel > 0 {
+			*parallel = fileOpts.Parallel
+		}
 		if fileOpts.L1Bytes > 0 {
 			opts.L1Bytes = fileOpts.L1Bytes
 		}
@@ -97,11 +106,25 @@ func main() {
 		opts.LLCBytes = 128 << 10
 	}
 
+	opts.Parallel = *parallel
+
 	var progress func(string)
 	if *verbose {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 	session := pac.NewExperimentSession(opts, progress)
+
+	// precompute fans the simulations an experiment selection needs out
+	// over the worker pool; the tables render from the memo afterwards,
+	// byte-identical to a sequential run.
+	precompute := func(ids ...string) {
+		if *parallel <= 1 {
+			return
+		}
+		if err := session.Precompute(*parallel, ids...); err != nil {
+			fail(err)
+		}
+	}
 
 	switch {
 	case *bench != "":
@@ -109,12 +132,14 @@ func main() {
 			fail(err)
 		}
 	case *experiment == "all":
+		precompute()
 		for _, e := range pac.Experiments() {
 			if err := runExperiment(session, e.ID, *csv, *chart, *verbose, *outDir); err != nil {
 				fail(err)
 			}
 		}
 	case *experiment != "":
+		precompute(*experiment)
 		if err := runExperiment(session, *experiment, *csv, *chart, *verbose, *outDir); err != nil {
 			fail(err)
 		}
@@ -132,6 +157,7 @@ type fileOptions struct {
 	Seed            uint64  `json:"seed"`
 	L1Bytes         int     `json:"l1Bytes"`
 	LLCBytes        int     `json:"llcBytes"`
+	Parallel        int     `json:"parallel"`
 }
 
 // loadConfig parses a JSON options file.

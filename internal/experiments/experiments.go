@@ -5,18 +5,16 @@
 // artefacts.
 //
 // Results within one Session are memoised, so running the whole suite
-// simulates each (benchmark, mode, variant) combination only once.
+// simulates each (benchmark, mode, variant) combination only once. The
+// memo is a concurrent singleflight: Session.Precompute runs the whole
+// working set through a worker pool, after which rendering the tables is
+// pure memo lookup and byte-identical to a sequential run.
 package experiments
 
 import (
-	"fmt"
 	"sort"
 
-	"github.com/pacsim/pac/internal/cache"
-	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/report"
-	"github.com/pacsim/pac/internal/sim"
-	"github.com/pacsim/pac/internal/workload"
 )
 
 // Options control the scale of the experiment runs.
@@ -33,6 +31,11 @@ type Options struct {
 	// 16KB / 8MB); tests use small caches with small scales so the
 	// miss streams keep their structure.
 	L1Bytes, LLCBytes int
+	// Parallel is the default worker count for Session.Precompute
+	// (0 means runtime.GOMAXPROCS). It never changes simulation
+	// results — parallel and sequential sessions render byte-identical
+	// tables — only how many simulations run concurrently.
+	Parallel int
 }
 
 // DefaultOptions reproduces the paper's Table 1 configuration.
@@ -74,97 +77,6 @@ const (
 	varMulti variant = "multi"
 )
 
-// Session runs experiments with memoised simulation results.
-type Session struct {
-	opts    Options
-	results map[string]*sim.Result
-	// Progress, when set, receives a line per completed simulation.
-	Progress func(string)
-}
-
-// NewSession creates a session.
-func NewSession(opts Options) *Session {
-	return &Session{opts: opts.normalized(), results: make(map[string]*sim.Result)}
-}
-
-// Options returns the session's normalized options.
-func (s *Session) Options() Options { return s.opts }
-
-// simConfig builds the simulator configuration for one run.
-func (s *Session) simConfig(bench string, mode coalesce.Mode, v variant) sim.Config {
-	cfg := sim.DefaultConfig(bench, mode)
-	cfg.Seed = s.opts.Seed
-	cfg.Scale = s.opts.Scale
-	cfg.AccessesPerCore = s.opts.AccessesPerCore
-	cfg.Procs = []sim.ProcSpec{{Benchmark: bench, Cores: s.opts.Cores}}
-	if v == varMulti {
-		half := s.opts.Cores / 2
-		if half == 0 {
-			half = 1
-		}
-		cfg.Procs = []sim.ProcSpec{
-			{Benchmark: bench, Cores: half},
-			{Benchmark: partnerOf(bench), Cores: half},
-		}
-	}
-	if v == varNoCtrl {
-		cfg.DisableNetworkCtrl = true
-	}
-	if s.opts.L1Bytes > 0 || s.opts.LLCBytes > 0 {
-		h := cache.DefaultHierarchyConfig(totalCores(cfg.Procs))
-		if s.opts.L1Bytes > 0 {
-			h.L1.Size = s.opts.L1Bytes
-		}
-		if s.opts.LLCBytes > 0 {
-			h.LLC.Size = s.opts.LLCBytes
-		}
-		cfg.Hierarchy = h
-	}
-	return cfg
-}
-
-func totalCores(procs []sim.ProcSpec) int {
-	n := 0
-	for _, p := range procs {
-		n += p.Cores
-	}
-	return n
-}
-
-// partnerOf pairs each benchmark with the next one in the canonical list
-// for the multiprocessing experiment, mirroring the paper's co-run of
-// "different tests with diverse memory access patterns".
-func partnerOf(bench string) string {
-	names := workload.Names()
-	for i, n := range names {
-		if n == bench {
-			return names[(i+1)%len(names)]
-		}
-	}
-	return names[0]
-}
-
-// result runs (or recalls) one simulation.
-func (s *Session) result(bench string, mode coalesce.Mode, v variant) (*sim.Result, error) {
-	key := fmt.Sprintf("%s/%d/%s", bench, mode, v)
-	if r, ok := s.results[key]; ok {
-		return r, nil
-	}
-	runner, err := sim.NewRunner(s.simConfig(bench, mode, v))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", key, err)
-	}
-	res, err := runner.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s: %w", key, err)
-	}
-	s.results[key] = res
-	if s.Progress != nil {
-		s.Progress(fmt.Sprintf("ran %-10s %-9s %-6s cycles=%d", bench, mode, v, res.Cycles))
-	}
-	return res, nil
-}
-
 // Experiment is one regenerable paper artefact.
 type Experiment struct {
 	// ID is the short handle used by `pacsim -experiment`.
@@ -175,6 +87,12 @@ type Experiment struct {
 	Desc string
 	// Run produces the result tables.
 	Run func(*Session) ([]*report.Table, error)
+	// Needs lists the memoised simulations and trace captures Run will
+	// request, letting Session.Precompute execute them through a
+	// worker pool before the tables are assembled. Nil means Run
+	// performs no memoised work (constant tables, or analyses that
+	// drive the workload generators directly).
+	Needs func() []need
 }
 
 var registry []Experiment

@@ -16,6 +16,7 @@ func init() {
 		Artefact: "Figure 10a",
 		Desc:     "Transaction efficiency (paper: raw 66.66% vs PAC 73.76% avg)",
 		Run:      runFig10a,
+		Needs:    func() []need { return sweep(varDefault, coalesce.ModeNone, coalesce.ModePAC) },
 	})
 	register(Experiment{
 		ID:       "fig10b",
@@ -28,6 +29,7 @@ func init() {
 		Artefact: "Figure 10c",
 		Desc:     "Bandwidth savings from coalescing (paper: 26.96GB avg, SP largest at 139.47GB)",
 		Run:      runFig10c,
+		Needs:    func() []need { return sweep(varDefault, coalesce.ModePAC) },
 	})
 }
 

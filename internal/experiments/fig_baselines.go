@@ -13,6 +13,10 @@ func init() {
 		Artefact: "extra (paper §2.2)",
 		Desc:     "Coalescing efficiency of PAC vs every prior design: MSHR-DMC, sorting-network DMC (ICPP'18), row-buffer MAC (ICPP'19)",
 		Run:      runBaselines,
+		Needs: func() []need {
+			return sweep(varDefault, coalesce.ModePAC, coalesce.ModeSortNet,
+				coalesce.ModeRowBuf, coalesce.ModeDMC)
+		},
 	})
 }
 

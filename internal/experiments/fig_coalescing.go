@@ -13,30 +13,38 @@ func init() {
 		Artefact: "Figure 1",
 		Desc:     "Ratio of coalesced requests: PAC vs conventional MSHR-based DMC (paper: 55.32% vs 35.78% avg)",
 		Run:      runFig1,
+		Needs:    func() []need { return sweep(varDefault, coalesce.ModePAC, coalesce.ModeDMC) },
 	})
 	register(Experiment{
 		ID:       "fig6a",
 		Artefact: "Figure 6a",
 		Desc:     "Coalescing efficiency per benchmark (paper: PAC 56.01%, DMC 33.25% avg)",
 		Run:      runFig6a,
+		Needs:    func() []need { return sweep(varDefault, coalesce.ModePAC, coalesce.ModeDMC) },
 	})
 	register(Experiment{
 		ID:       "fig6b",
 		Artefact: "Figure 6b",
 		Desc:     "Coalescing efficiency under multiprocessing (paper: PAC 44.21->38.93%, DMC 28.39->14.43%)",
 		Run:      runFig6b,
+		Needs: func() []need {
+			return append(sweep(varDefault, coalesce.ModePAC, coalesce.ModeDMC),
+				sweep(varMulti, coalesce.ModePAC, coalesce.ModeDMC)...)
+		},
 	})
 	register(Experiment{
 		ID:       "fig6c",
 		Artefact: "Figure 6c",
 		Desc:     "Bank conflict reduction through PAC (paper: 85.16% avg)",
 		Run:      runFig6c,
+		Needs:    func() []need { return sweep(varDefault, coalesce.ModeNone, coalesce.ModePAC) },
 	})
 	register(Experiment{
 		ID:       "fig7",
 		Artefact: "Figure 7",
 		Desc:     "Comparison reductions of paged vs request-granular search (paper: 29.84% avg, BFS 62.41%)",
 		Run:      runFig7,
+		Needs:    func() []need { return sweep(varNoCtrl, coalesce.ModePAC) },
 	})
 }
 

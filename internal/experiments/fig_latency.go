@@ -14,18 +14,21 @@ func init() {
 		Artefact: "Figure 12a",
 		Desc:     "PAC pipeline stage latencies (paper: stage2 6.66, stage3 11.47 cycles; overall near the 16-cycle timeout)",
 		Run:      runFig12a,
+		Needs:    func() []need { return sweep(varNoCtrl, coalesce.ModePAC) },
 	})
 	register(Experiment{
 		ID:       "fig12b",
 		Artefact: "Figure 12b",
 		Desc:     "Latency of filling the MAQ (paper: 20.76ns avg; BFS lowest at 8.62ns)",
 		Run:      runFig12b,
+		Needs:    func() []need { return sweep(varNoCtrl, coalesce.ModePAC) },
 	})
 	register(Experiment{
 		ID:       "fig12c",
 		Artefact: "Figure 12c",
 		Desc:     "Requests bypassing pipeline stages 2-3 (paper: 25.04% avg; BFS 45.09%)",
 		Run:      runFig12c,
+		Needs:    func() []need { return sweep(varNoCtrl, coalesce.ModePAC) },
 	})
 }
 

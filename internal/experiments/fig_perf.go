@@ -16,6 +16,9 @@ func init() {
 		Artefact: "Figure 15",
 		Desc:     "Runtime improvement over the standard HMC controller (paper: PAC 14.35% avg, GS max 26.06%; DMC 8.91%)",
 		Run:      runFig15,
+		Needs: func() []need {
+			return sweep(varDefault, coalesce.ModeNone, coalesce.ModePAC, coalesce.ModeDMC)
+		},
 	})
 	register(Experiment{
 		ID:       "tab1",

@@ -14,12 +14,16 @@ func init() {
 		Artefact: "Figure 13",
 		Desc:     "Energy savings per HMC operation class (paper: VAULT-RQST-SLOT 59.35%, LINK-LOCAL 61.39%, ...)",
 		Run:      runFig13,
+		Needs:    func() []need { return sweep(varDefault, coalesce.ModeNone, coalesce.ModePAC) },
 	})
 	register(Experiment{
 		ID:       "fig14",
 		Artefact: "Figure 14",
 		Desc:     "Overall energy savings (paper: PAC 59.21% vs MSHR-DMC 39.57%)",
 		Run:      runFig14,
+		Needs: func() []need {
+			return sweep(varDefault, coalesce.ModeNone, coalesce.ModePAC, coalesce.ModeDMC)
+		},
 	})
 }
 

@@ -22,12 +22,14 @@ func init() {
 		Artefact: "Figure 11b",
 		Desc:     "Coalescing stream occupancy while running HPCG (paper: 77.57% of samples use 2-4 pages)",
 		Run:      runFig11b,
+		Needs:    func() []need { return []need{simNeed("HPCG", coalesce.ModePAC, varNoCtrl)} },
 	})
 	register(Experiment{
 		ID:       "fig11c",
 		Artefact: "Figure 11c",
 		Desc:     "Average coalescing stream utilisation (paper: 4.49 of 16 avg; BFS 9.99)",
 		Run:      runFig11c,
+		Needs:    func() []need { return sweep(varNoCtrl, coalesce.ModePAC) },
 	})
 }
 

@@ -5,10 +5,8 @@ import (
 	"sort"
 
 	"github.com/pacsim/pac/internal/cluster"
-	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/report"
-	"github.com/pacsim/pac/internal/sim"
 	"github.com/pacsim/pac/internal/stats"
 	"github.com/pacsim/pac/internal/workload"
 )
@@ -19,35 +17,22 @@ func init() {
 		Artefact: "Figure 2",
 		Desc:     "Cross-page coalescing opportunity (paper: 0.04% of requests on average)",
 		Run:      runFig2,
+		Needs:    allTraces,
 	})
 	register(Experiment{
 		ID:       "fig8",
 		Artefact: "Figure 8",
 		Desc:     "DBSCAN clustering of BFS request distribution (paper: sparse, mostly noise)",
 		Run:      func(s *Session) ([]*report.Table, error) { return runClusterFig(s, "Figure 8", "BFS") },
+		Needs:    func() []need { return []need{traceNeed("BFS")} },
 	})
 	register(Experiment{
 		ID:       "fig9",
 		Artefact: "Figure 9",
 		Desc:     "DBSCAN clustering of SPARSELU request distribution (paper: dense clusters)",
 		Run:      func(s *Session) ([]*report.Table, error) { return runClusterFig(s, "Figure 9", "SPARSELU") },
+		Needs:    func() []need { return []need{traceNeed("SPARSELU")} },
 	})
-}
-
-// trace captures the LLC-level request stream of one benchmark under the
-// PAC configuration.
-func (s *Session) trace(bench string) ([]mem.Request, error) {
-	var reqs []mem.Request
-	cfg := s.simConfig(bench, coalesce.ModePAC, varDefault)
-	cfg.TraceSink = func(r mem.Request) { reqs = append(reqs, r) }
-	runner, err := sim.NewRunner(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := runner.Run(); err != nil {
-		return nil, err
-	}
-	return reqs, nil
 }
 
 // crossPageStats measures, over aggregation windows of the PAC timeout

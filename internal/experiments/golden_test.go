@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./internal/experiments/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenOptions is the pinned configuration behind the golden files. It
+// is deliberately independent of testOptions(): changing test scale must
+// not silently rewrite the goldens.
+func goldenOptions() Options {
+	return Options{
+		Cores:           2,
+		AccessesPerCore: 2_000,
+		Scale:           0.02,
+		Seed:            11,
+		L1Bytes:         2 << 10,
+		LLCBytes:        128 << 10,
+	}
+}
+
+// TestGolden locks the rendered output of two representative artefacts —
+// the Table 1 configuration summary and the headline Figure 6a
+// efficiency comparison — so a future performance PR cannot silently
+// change the paper numbers.
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range []string{"tab1", "fig6a"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			tables, err := e.Run(NewSession(goldenOptions()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for _, tbl := range tables {
+				if err := tbl.WriteText(&buf); err != nil {
+					t.Fatal(err)
+				}
+				buf.WriteByte('\n')
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden file %s;\n"+
+					"if the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+					id, path, buf.Bytes(), want)
+			}
+		})
+	}
+}

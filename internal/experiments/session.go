@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/pacsim/pac/internal/cache"
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+// simKey identifies one memoised simulation.
+type simKey struct {
+	bench string
+	mode  coalesce.Mode
+	v     variant
+}
+
+func (k simKey) String() string { return fmt.Sprintf("%s/%d/%s", k.bench, k.mode, k.v) }
+
+// memoEntry is one singleflight slot: the goroutine that creates the
+// entry computes the value and closes done; every other goroutine asking
+// for the same key blocks on done and shares the result.
+type memoEntry[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Session runs experiments with memoised simulation results. It is safe
+// for concurrent use: concurrent callers asking for the same
+// (benchmark, mode, variant) combination share a single simulation run,
+// and Precompute fans the whole working set out over a worker pool.
+//
+// Each simulation's sim.Runner is created, run, and discarded inside the
+// goroutine that computes its memo entry; no simulator state is ever
+// shared between goroutines.
+type Session struct {
+	opts Options
+
+	// mu guards the memo maps, the progress counters, and every
+	// invocation of the progress callback.
+	mu      sync.Mutex
+	sims    map[simKey]*memoEntry[*sim.Result]
+	traces  map[string]*memoEntry[[]mem.Request]
+	ran     int // completed simulations and trace captures
+	planned int // total jobs known in advance (set by Precompute)
+	latched bool
+	progFn  func(string)
+
+	// Progress, when set, receives a line per completed simulation or
+	// trace capture. It MUST be assigned before the session's first
+	// result is requested and never reassigned afterwards: the session
+	// latches the callback on first use (later writes are ignored) and
+	// serializes all invocations under the session mutex, so the
+	// callback itself needs no locking. During a Precompute run the
+	// lines carry a monotonic "[k/n]" completion prefix.
+	Progress func(string)
+}
+
+// NewSession creates a session.
+func NewSession(opts Options) *Session {
+	return &Session{
+		opts:   opts.normalized(),
+		sims:   make(map[simKey]*memoEntry[*sim.Result]),
+		traces: make(map[string]*memoEntry[[]mem.Request]),
+	}
+}
+
+// Options returns the session's normalized options.
+func (s *Session) Options() Options { return s.opts }
+
+// latchProgressLocked captures the Progress callback the first time the
+// session starts any work, enforcing the set-before-first-use contract:
+// whatever Progress holds at that moment is what every simulation
+// reports to, and later writes to the field have no effect.
+func (s *Session) latchProgressLocked() {
+	if !s.latched {
+		s.latched = true
+		s.progFn = s.Progress
+	}
+}
+
+// noteDone records one completed job and emits its progress line, both
+// under the session mutex so lines are serialized and the "[k/n]"
+// counter is monotonic.
+func (s *Session) noteDone(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ran++
+	if s.progFn == nil {
+		return
+	}
+	if s.planned > 0 {
+		line = fmt.Sprintf("[%d/%d] %s", s.ran, s.planned, line)
+	}
+	s.progFn(line)
+}
+
+// result runs (or recalls) one simulation. Concurrent callers for the
+// same key block until the one executing run finishes and then share its
+// *sim.Result.
+func (s *Session) result(bench string, mode coalesce.Mode, v variant) (*sim.Result, error) {
+	k := simKey{bench, mode, v}
+	s.mu.Lock()
+	e, hit := s.sims[k]
+	if !hit {
+		e = &memoEntry[*sim.Result]{done: make(chan struct{})}
+		s.sims[k] = e
+		s.latchProgressLocked()
+	}
+	s.mu.Unlock()
+	if hit {
+		<-e.done
+		return e.val, e.err
+	}
+	e.val, e.err = s.runSim(k)
+	close(e.done)
+	return e.val, e.err
+}
+
+// runSim executes one simulation to completion. The runner lives and
+// dies on the calling goroutine.
+func (s *Session) runSim(k simKey) (*sim.Result, error) {
+	runner, err := sim.NewRunner(s.simConfig(k.bench, k.mode, k.v))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", k, err)
+	}
+	res, err := runner.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", k, err)
+	}
+	s.noteDone(fmt.Sprintf("ran %-10s %-9s %-6s cycles=%d", k.bench, k.mode, k.v, res.Cycles))
+	return res, nil
+}
+
+// trace captures (or recalls) the LLC-level request stream of one
+// benchmark under the PAC configuration; used by the trace analyses of
+// Figures 2, 8 and 9. Traces are memoised with the same singleflight
+// discipline as results.
+func (s *Session) trace(bench string) ([]mem.Request, error) {
+	s.mu.Lock()
+	e, hit := s.traces[bench]
+	if !hit {
+		e = &memoEntry[[]mem.Request]{done: make(chan struct{})}
+		s.traces[bench] = e
+		s.latchProgressLocked()
+	}
+	s.mu.Unlock()
+	if hit {
+		<-e.done
+		return e.val, e.err
+	}
+	e.val, e.err = s.runTrace(bench)
+	close(e.done)
+	return e.val, e.err
+}
+
+// runTrace executes one trace-capturing simulation on the calling
+// goroutine.
+func (s *Session) runTrace(bench string) ([]mem.Request, error) {
+	var reqs []mem.Request
+	cfg := s.simConfig(bench, coalesce.ModePAC, varDefault)
+	cfg.TraceSink = func(r mem.Request) { reqs = append(reqs, r) }
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)
+	}
+	if _, err := runner.Run(); err != nil {
+		return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)
+	}
+	s.noteDone(fmt.Sprintf("traced %-10s requests=%d", bench, len(reqs)))
+	return reqs, nil
+}
+
+// simConfig builds the simulator configuration for one run.
+func (s *Session) simConfig(bench string, mode coalesce.Mode, v variant) sim.Config {
+	cfg := sim.DefaultConfig(bench, mode)
+	cfg.Seed = s.opts.Seed
+	cfg.Scale = s.opts.Scale
+	cfg.AccessesPerCore = s.opts.AccessesPerCore
+	cfg.Procs = []sim.ProcSpec{{Benchmark: bench, Cores: s.opts.Cores}}
+	if v == varMulti {
+		half := s.opts.Cores / 2
+		if half == 0 {
+			half = 1
+		}
+		cfg.Procs = []sim.ProcSpec{
+			{Benchmark: bench, Cores: half},
+			{Benchmark: partnerOf(bench), Cores: half},
+		}
+	}
+	if v == varNoCtrl {
+		cfg.DisableNetworkCtrl = true
+	}
+	if s.opts.L1Bytes > 0 || s.opts.LLCBytes > 0 {
+		h := cache.DefaultHierarchyConfig(totalCores(cfg.Procs))
+		if s.opts.L1Bytes > 0 {
+			h.L1.Size = s.opts.L1Bytes
+		}
+		if s.opts.LLCBytes > 0 {
+			h.LLC.Size = s.opts.LLCBytes
+		}
+		cfg.Hierarchy = h
+	}
+	return cfg
+}
+
+// need names one precomputable unit of work: a memoised simulation, or
+// (when trace is set) a captured LLC request trace.
+type need struct {
+	bench string
+	mode  coalesce.Mode
+	v     variant
+	trace bool
+}
+
+// simNeed declares one simulation dependency.
+func simNeed(bench string, mode coalesce.Mode, v variant) need {
+	return need{bench: bench, mode: mode, v: v}
+}
+
+// traceNeed declares one trace-capture dependency.
+func traceNeed(bench string) need { return need{bench: bench, trace: true} }
+
+// sweep declares one simulation per benchmark of the canonical suite for
+// each of the given modes under one variant.
+func sweep(v variant, modes ...coalesce.Mode) []need {
+	var out []need
+	for _, b := range workload.Names() {
+		for _, m := range modes {
+			out = append(out, simNeed(b, m, v))
+		}
+	}
+	return out
+}
+
+// allTraces declares a trace capture per benchmark of the canonical
+// suite.
+func allTraces() []need {
+	var out []need
+	for _, b := range workload.Names() {
+		out = append(out, traceNeed(b))
+	}
+	return out
+}
+
+// Precompute discovers every simulation and trace capture the named
+// experiments (every registered experiment when none are named) will
+// request and runs them through a bounded worker pool before returning.
+// Subsequent Experiment.Run calls then assemble their tables purely from
+// the memo, so the rendered output is byte-identical to a sequential
+// run — the table contents depend only on each simulation's own
+// deterministic result, never on completion order.
+//
+// workers <= 0 falls back to Options.Parallel, and to
+// runtime.GOMAXPROCS(0) when that is unset too. Errors are memoised like
+// results; Precompute returns one of the errors encountered (callers
+// re-running the failing experiment get the same error from the memo).
+func (s *Session) Precompute(workers int, ids ...string) error {
+	exps := All()
+	if len(ids) > 0 {
+		exps = exps[:0:0]
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				return fmt.Errorf("experiments: unknown experiment %q", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	seen := make(map[need]bool)
+	var jobs []need
+	for _, e := range exps {
+		if e.Needs == nil {
+			continue
+		}
+		for _, n := range e.Needs() {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			jobs = append(jobs, n)
+		}
+	}
+
+	// Count only jobs not already memoised toward the "[k/n]" total.
+	s.mu.Lock()
+	fresh := jobs[:0]
+	for _, j := range jobs {
+		if j.trace {
+			if _, ok := s.traces[j.bench]; ok {
+				continue
+			}
+		} else if _, ok := s.sims[simKey{j.bench, j.mode, j.v}]; ok {
+			continue
+		}
+		fresh = append(fresh, j)
+	}
+	s.planned = s.ran + len(fresh)
+	s.latchProgressLocked()
+	s.mu.Unlock()
+	if len(fresh) == 0 {
+		return nil
+	}
+
+	if workers <= 0 {
+		workers = s.opts.Parallel
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fresh) {
+		workers = len(fresh)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	ch := make(chan need)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				var err error
+				if j.trace {
+					_, err = s.trace(j.bench)
+				} else {
+					_, err = s.result(j.bench, j.mode, j.v)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range fresh {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// Completed returns how many simulations and trace captures the session
+// has executed (memo hits excluded).
+func (s *Session) Completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ran
+}
+
+func totalCores(procs []sim.ProcSpec) int {
+	n := 0
+	for _, p := range procs {
+		n += p.Cores
+	}
+	return n
+}
+
+// partnerOf pairs each benchmark with the next one in the canonical list
+// for the multiprocessing experiment, mirroring the paper's co-run of
+// "different tests with diverse memory access patterns".
+func partnerOf(bench string) string {
+	names := workload.Names()
+	for i, n := range names {
+		if n == bench {
+			return names[(i+1)%len(names)]
+		}
+	}
+	return names[0]
+}

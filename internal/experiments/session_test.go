@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/sim"
+)
+
+// renderAll runs every registered experiment in paper order and renders
+// each table as text and CSV, the exact bytes pacsim would emit.
+func renderAll(t *testing.T, s *Session) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, e := range All() {
+		tables, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for _, tbl := range tables {
+			if err := tbl.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestConcurrentMemoSingleflight hammers one memo key from 32 goroutines
+// and checks the simulation executed exactly once (counted via the
+// Progress hook, which fires once per executed simulation) with every
+// caller sharing the same *sim.Result.
+func TestConcurrentMemoSingleflight(t *testing.T) {
+	opts := testOptions()
+	opts.AccessesPerCore = 1_000
+	s := NewSession(opts)
+	runs := 0
+	// Invocations are serialized under the session mutex, so a plain
+	// counter is safe.
+	s.Progress = func(string) { runs++ }
+
+	const callers = 32
+	var (
+		wg      sync.WaitGroup
+		results [callers]*sim.Result
+		errs    [callers]error
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.result("STREAM", coalesce.ModePAC, varDefault)
+		}(i)
+	}
+	wg.Wait()
+
+	if runs != 1 {
+		t.Errorf("simulation executed %d times, want 1", runs)
+	}
+	if s.Completed() != 1 {
+		t.Errorf("Completed() = %d, want 1", s.Completed())
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i] != results[0] {
+			t.Fatalf("caller %d got %p, want shared result %p", i, results[i], results[0])
+		}
+	}
+}
+
+// TestParallelDeterminism is the regression suite's core guarantee: the
+// full experiment registry rendered through a sequential session, a
+// parallel session with 8 workers, and a second identical-seed parallel
+// session must produce byte-identical tables.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite three times")
+	}
+	opts := testOptions()
+	opts.AccessesPerCore = 1_500
+
+	seq := renderAll(t, NewSession(opts))
+
+	parallelRender := func() []byte {
+		s := NewSession(opts)
+		if err := s.Precompute(8); err != nil {
+			t.Fatal(err)
+		}
+		before := s.Completed()
+		out := renderAll(t, s)
+		// The Needs declarations must cover everything Run requests;
+		// otherwise rendering silently falls back to lazy sequential
+		// simulation and the parallelism claim is hollow.
+		if after := s.Completed(); after != before {
+			t.Errorf("rendering ran %d undeclared simulations (Needs incomplete)", after-before)
+		}
+		return out
+	}
+	par1 := parallelRender()
+	par2 := parallelRender()
+
+	if !bytes.Equal(seq, par1) {
+		t.Errorf("parallel output differs from sequential output (%d vs %d bytes)", len(par1), len(seq))
+	}
+	if !bytes.Equal(par1, par2) {
+		t.Errorf("two identical-seed parallel runs differ (%d vs %d bytes)", len(par1), len(par2))
+	}
+}
+
+// TestPrecomputeProgressMonotonic checks the serialized "[k/n]" progress
+// lines count every completion exactly once, in order.
+func TestPrecomputeProgressMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := testOptions()
+	opts.AccessesPerCore = 1_000
+	s := NewSession(opts)
+	var lines []string
+	s.Progress = func(line string) { lines = append(lines, line) }
+	if err := s.Precompute(8, "fig6a", "fig6c"); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no progress lines")
+	}
+	n := len(lines)
+	for i, line := range lines {
+		want := fmt.Sprintf("[%d/%d] ", i+1, n)
+		if len(line) < len(want) || line[:len(want)] != want {
+			t.Errorf("line %d = %q, want prefix %q", i, line, want)
+		}
+	}
+}
+
+// TestPrecomputeUnknownExperiment checks the error path.
+func TestPrecomputeUnknownExperiment(t *testing.T) {
+	if err := NewSession(testOptions()).Precompute(2, "nope"); err == nil {
+		t.Fatal("expected error for unknown experiment ID")
+	}
+}
+
+// TestProgressLatched enforces the set-before-first-use contract: a
+// Progress callback assigned after the session started working is never
+// invoked (the first one stays latched).
+func TestProgressLatched(t *testing.T) {
+	opts := testOptions()
+	opts.AccessesPerCore = 500
+	s := NewSession(opts)
+	first := 0
+	s.Progress = func(string) { first++ }
+	if _, err := s.result("STREAM", coalesce.ModePAC, varDefault); err != nil {
+		t.Fatal(err)
+	}
+	s.Progress = func(string) { t.Error("late-assigned Progress must not be invoked") }
+	if _, err := s.result("STREAM", coalesce.ModeDMC, varDefault); err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Errorf("latched callback saw %d completions, want 2", first)
+	}
+}

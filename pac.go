@@ -251,11 +251,18 @@ func Experiments() []Experiment { return experiments.All() }
 
 // ExperimentSession memoises simulation results across experiments, so a
 // sweep over several figures simulates each (benchmark, mode, variant)
-// combination once.
+// combination once. Sessions are safe for concurrent use: concurrent
+// requests for the same combination share one simulation, and
+// Session.Precompute runs an experiment selection's whole working set
+// through a bounded worker pool (see ExperimentOptions.Parallel and the
+// pacsim -parallel flag). Parallel and sequential sessions render
+// byte-identical tables.
 type ExperimentSession = experiments.Session
 
 // NewExperimentSession creates a session; progress, when non-nil,
-// receives one line per completed simulation.
+// receives one line per completed simulation. The progress callback is
+// latched here, before first use, and the session serializes its
+// invocations, so the callback needs no internal locking.
 func NewExperimentSession(opts ExperimentOptions, progress func(string)) *ExperimentSession {
 	s := experiments.NewSession(opts)
 	s.Progress = progress
