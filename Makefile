@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race smoke vet fmt bench figures \
-        figures-quick examples fuzz clean
+.PHONY: all build test test-short test-race smoke serve smoke-serve vet \
+        fmt bench figures figures-quick examples fuzz clean
 
 all: vet test build
 
@@ -27,6 +27,16 @@ test-race:
 # workers (output is byte-identical to -parallel 1).
 smoke:
 	$(GO) run ./cmd/pacsim -experiment all -quick -parallel 4
+
+# Run the pacd simulation service locally (README "Running pacd" has the
+# curl examples).
+serve:
+	$(GO) run ./cmd/pacd -addr :8080
+
+# End-to-end service smoke: start pacd, exercise the API, check the
+# memo-hit telemetry, and verify a clean SIGTERM drain.
+smoke-serve:
+	scripts/smoke_serve.sh
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,118 @@
+// Command pacd is the resident PAC simulation service: it keeps one
+// process-wide result cache warm across many small queries and exposes
+// the experiment harness over an HTTP JSON API with Prometheus metrics.
+//
+// Usage:
+//
+//	pacd -addr :8080
+//	pacd -addr :8080 -quick -pprof
+//	pacd -cores 8 -accesses 100000 -parallel 8 -queue 32
+//
+// Endpoints (see internal/server and README "Running pacd"):
+//
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus text exposition
+//	POST /v1/simulate, POST /v1/experiments/{id}/run, GET /v1/jobs/{id}, ...
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains the job
+// queue (bounded by -drain-timeout), and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/pacsim/pac"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		cores        = flag.Int("cores", 8, "simulated cores of the default session")
+		accesses     = flag.Int("accesses", 100_000, "trace length per core of the default session")
+		scale        = flag.Float64("scale", 1.0, "working-set scale factor of the default session")
+		seed         = flag.Uint64("seed", 42, "workload generator seed of the default session")
+		quick        = flag.Bool("quick", false, "fast smoke configuration (small caches, short traces)")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation workers per experiment job")
+		concurrency  = flag.Int("concurrency", runtime.GOMAXPROCS(0), "jobs executing at once")
+		queue        = flag.Int("queue", 16, "bounded job queue depth (full queue answers 429)")
+		maxSessions  = flag.Int("max-sessions", 8, "LRU cap on distinct-option result-cache sessions")
+		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "cap on synchronous ?wait= windows")
+		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "abort jobs running longer than this")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	)
+	flag.Parse()
+
+	opts := pac.ExperimentOptions{
+		Cores:           *cores,
+		AccessesPerCore: *accesses,
+		Scale:           *scale,
+		Seed:            *seed,
+	}
+	if *quick {
+		opts.Cores = 2
+		opts.AccessesPerCore = 5_000
+		opts.Scale = 0.02
+		opts.L1Bytes = 2 << 10
+		opts.LLCBytes = 128 << 10
+	}
+
+	srv := pac.NewServer(pac.ServerConfig{
+		Options:        opts,
+		Parallel:       *parallel,
+		Concurrency:    *concurrency,
+		QueueDepth:     *queue,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *reqTimeout,
+		JobTimeout:     *jobTimeout,
+		EnablePprof:    *pprofOn,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("pacd: serving on %s (cores=%d accesses=%d scale=%.2f parallel=%d queue=%d)",
+		*addr, opts.Cores, opts.AccessesPerCore, opts.Scale, *parallel, *queue)
+
+	select {
+	case err := <-errCh:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then let the job
+	// queue unwind before exiting.
+	log.Printf("pacd: shutdown signal, draining (timeout %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("pacd: http shutdown: %v", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		fail(fmt.Errorf("drain: %w", err))
+	}
+	log.Printf("pacd: drained cleanly")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pacd:", err)
+	os.Exit(1)
+}

@@ -23,12 +23,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/pacsim/pac"
@@ -48,7 +51,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "fast smoke configuration (small caches, short traces)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation workers for experiment runs (1 = sequential; results are identical either way)")
 		config     = flag.String("config", "", "JSON options file (overridden by explicit flags)")
-		jsonOut    = flag.Bool("json", false, "with -bench: emit the full three-mode results as JSON")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON: full three-mode results with -bench, one {id, tables} object per experiment with -experiment")
 		outDir     = flag.String("out", "", "also write each experiment table to DIR/<id>.txt and .csv")
 		verbose    = flag.Bool("v", false, "print per-simulation progress")
 	)
@@ -114,6 +117,11 @@ func main() {
 	}
 	session := pac.NewExperimentSession(opts, progress)
 
+	// Ctrl-C / SIGTERM cancels the in-flight simulations instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// precompute fans the simulations an experiment selection needs out
 	// over the worker pool; the tables render from the memo afterwards,
 	// byte-identical to a sequential run.
@@ -121,7 +129,7 @@ func main() {
 		if *parallel <= 1 {
 			return
 		}
-		if err := session.Precompute(*parallel, ids...); err != nil {
+		if err := session.Precompute(ctx, *parallel, ids...); err != nil {
 			fail(err)
 		}
 	}
@@ -134,13 +142,13 @@ func main() {
 	case *experiment == "all":
 		precompute()
 		for _, e := range pac.Experiments() {
-			if err := runExperiment(session, e.ID, *csv, *chart, *verbose, *outDir); err != nil {
+			if err := runExperiment(session, e.ID, *csv, *chart, *jsonOut, *verbose, *outDir); err != nil {
 				fail(err)
 			}
 		}
 	case *experiment != "":
 		precompute(*experiment)
-		if err := runExperiment(session, *experiment, *csv, *chart, *verbose, *outDir); err != nil {
+		if err := runExperiment(session, *experiment, *csv, *chart, *jsonOut, *verbose, *outDir); err != nil {
 			fail(err)
 		}
 	default:
@@ -180,7 +188,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runExperiment(session *pac.ExperimentSession, id string, csv, chart, verbose bool, outDir string) error {
+func runExperiment(session *pac.ExperimentSession, id string, csv, chart, jsonOut, verbose bool, outDir string) error {
 	start := time.Now()
 	tables, err := pac.RunExperimentIn(session, id)
 	if err != nil {
@@ -190,6 +198,16 @@ func runExperiment(session *pac.ExperimentSession, id string, csv, chart, verbos
 		if err := writeTables(outDir, id, tables); err != nil {
 			return err
 		}
+	}
+	if jsonOut {
+		// One object per experiment, same table encoding as the pacd
+		// API's ExperimentResult payloads.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			ID     string       `json:"id"`
+			Tables []*pac.Table `json:"tables"`
+		}{id, tables})
 	}
 	for _, t := range tables {
 		if csv {

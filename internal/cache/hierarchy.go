@@ -2,6 +2,7 @@ package cache
 
 import (
 	"github.com/pacsim/pac/internal/mem"
+	"github.com/pacsim/pac/internal/telemetry"
 )
 
 // HierarchyConfig describes the two-level hierarchy of the simulated
@@ -43,6 +44,19 @@ type Hierarchy struct {
 	PendingHits int64 // LLC hits on in-flight blocks (emit requests)
 	Uncached    int64 // atomics routed around the hierarchy
 	WriteBacks  int64 // dirty LLC evictions sent to memory
+}
+
+// Record emits the hierarchy's aggregate counters into the telemetry
+// hooks as one KindCacheStats event labelled with the workload name. The
+// simulation driver calls it once per finished run; a nil hooks drops
+// the event.
+func (h *Hierarchy) Record(hooks *telemetry.Hooks, bench string) {
+	hooks.Emit(telemetry.Event{
+		Kind:      telemetry.KindCacheStats,
+		Bench:     bench,
+		Accesses:  h.Accesses,
+		LLCMisses: h.LLCMisses,
+	})
 }
 
 // NewHierarchy builds the hierarchy.

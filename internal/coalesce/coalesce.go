@@ -9,6 +9,8 @@
 package coalesce
 
 import (
+	"strings"
+
 	"github.com/pacsim/pac/internal/core"
 	"github.com/pacsim/pac/internal/mem"
 )
@@ -69,6 +71,26 @@ func (m Mode) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseMode resolves a mode name as accepted by the pacd API and the
+// CLI: the String form of each mode plus lowercase aliases ("none",
+// "baseline", "dmc", "pac", "sortnet", "rowbuf"). Matching is
+// case-insensitive; ok is false for unknown names.
+func ParseMode(s string) (Mode, bool) {
+	switch strings.ToLower(s) {
+	case "none", "baseline":
+		return ModeNone, true
+	case "dmc", "mshr-dmc":
+		return ModeDMC, true
+	case "pac":
+		return ModePAC, true
+	case "sortnet":
+		return ModeSortNet, true
+	case "rowbuf", "mac":
+		return ModeRowBuf, true
+	}
+	return ModeNone, false
 }
 
 // MergesInMSHR reports whether this mode's MSHR file merges requests.

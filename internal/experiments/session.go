@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +11,7 @@ import (
 	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/telemetry"
 	"github.com/pacsim/pac/internal/workload"
 )
 
@@ -21,13 +24,19 @@ type simKey struct {
 
 func (k simKey) String() string { return fmt.Sprintf("%s/%d/%s", k.bench, k.mode, k.v) }
 
-// memoEntry is one singleflight slot: the goroutine that creates the
-// entry computes the value and closes done; every other goroutine asking
-// for the same key blocks on done and shares the result.
+// memoEntry is one singleflight slot: a detached goroutine computes the
+// value and closes done; every caller for the key — including the one
+// that created the entry — blocks on done (or its own context) and
+// shares the result. waiters counts the callers currently blocked; when
+// the last one disconnects before done, the entry's run context is
+// cancelled, aborting the simulation, and the entry leaves the memo so a
+// later request runs fresh.
 type memoEntry[T any] struct {
-	done chan struct{}
-	val  T
-	err  error
+	done    chan struct{}
+	val     T
+	err     error
+	waiters int // guarded by the session mutex
+	cancel  context.CancelFunc
 }
 
 // Session runs experiments with memoised simulation results. It is safe
@@ -35,9 +44,12 @@ type memoEntry[T any] struct {
 // (benchmark, mode, variant) combination share a single simulation run,
 // and Precompute fans the whole working set out over a worker pool.
 //
-// Each simulation's sim.Runner is created, run, and discarded inside the
-// goroutine that computes its memo entry; no simulator state is ever
-// shared between goroutines.
+// Each simulation's sim.Runner is created, run, and discarded inside one
+// dedicated goroutine; no simulator state is ever shared between
+// goroutines. Callers pass a context: an individual caller abandoning a
+// shared run does not abort it while other waiters remain, but when the
+// last waiter disconnects, the in-flight simulation is cancelled and
+// evicted from the memo.
 type Session struct {
 	opts Options
 
@@ -50,6 +62,7 @@ type Session struct {
 	planned int // total jobs known in advance (set by Precompute)
 	latched bool
 	progFn  func(string)
+	hooks   *telemetry.Hooks
 
 	// Progress, when set, receives a line per completed simulation or
 	// trace capture. It MUST be assigned before the session's first
@@ -59,6 +72,13 @@ type Session struct {
 	// callback itself needs no locking. During a Precompute run the
 	// lines carry a monotonic "[k/n]" completion prefix.
 	Progress func(string)
+
+	// Hooks, when set, receives telemetry events: a memo hit or miss
+	// per lookup, and the per-simulation lifecycle events emitted by
+	// sim.Runner. Like Progress it is latched on first use; the hooks
+	// type serializes its own invocations, so one *telemetry.Hooks may
+	// be shared across sessions.
+	Hooks *telemetry.Hooks
 }
 
 // NewSession creates a session.
@@ -73,14 +93,15 @@ func NewSession(opts Options) *Session {
 // Options returns the session's normalized options.
 func (s *Session) Options() Options { return s.opts }
 
-// latchProgressLocked captures the Progress callback the first time the
-// session starts any work, enforcing the set-before-first-use contract:
-// whatever Progress holds at that moment is what every simulation
-// reports to, and later writes to the field have no effect.
-func (s *Session) latchProgressLocked() {
+// latchLocked captures the Progress and Hooks callbacks the first time
+// the session starts any work, enforcing the set-before-first-use
+// contract: whatever the fields hold at that moment is what every
+// simulation reports to, and later writes have no effect.
+func (s *Session) latchLocked() {
 	if !s.latched {
 		s.latched = true
 		s.progFn = s.Progress
+		s.hooks = s.Hooks
 	}
 }
 
@@ -100,36 +121,136 @@ func (s *Session) noteDone(line string) {
 	s.progFn(line)
 }
 
-// result runs (or recalls) one simulation. Concurrent callers for the
-// same key block until the one executing run finishes and then share its
-// *sim.Result.
-func (s *Session) result(bench string, mode coalesce.Mode, v variant) (*sim.Result, error) {
-	k := simKey{bench, mode, v}
+// noteMemo emits the memo hit/miss telemetry event for one lookup.
+func (s *Session) noteMemo(hooks *telemetry.Hooks, hit bool, bench, mode string) {
+	kind := telemetry.KindMemoMiss
+	if hit {
+		kind = telemetry.KindMemoHit
+	}
+	hooks.Emit(telemetry.Event{Kind: kind, Bench: bench, Mode: mode})
+}
+
+// cancelled reports whether err stems from context cancellation or a
+// deadline; such results must not stay memoised.
+func cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Result runs (or recalls) the benchmark under the given mode with the
+// session's options — the exported entry point the pacd service builds
+// its result cache on. Concurrent callers for the same combination share
+// one simulation; ctx follows the waiter-disconnect contract described
+// on Session.
+func (s *Session) Result(ctx context.Context, bench string, mode coalesce.Mode) (*sim.Result, error) {
+	return s.resultCtx(ctx, bench, mode, varDefault)
+}
+
+// Memoized reports whether the benchmark/mode combination has a
+// successfully completed result in the memo (in-flight runs report
+// false).
+func (s *Session) Memoized(bench string, mode coalesce.Mode) bool {
 	s.mu.Lock()
-	e, hit := s.sims[k]
-	if !hit {
-		e = &memoEntry[*sim.Result]{done: make(chan struct{})}
-		s.sims[k] = e
-		s.latchProgressLocked()
+	e, ok := s.sims[simKey{bench, mode, varDefault}]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
+// result is the context-free recall used by the experiment drivers;
+// their cancellation happens through Precompute, which executes every
+// declared need with the caller's context before the tables render.
+func (s *Session) result(bench string, mode coalesce.Mode, v variant) (*sim.Result, error) {
+	return s.resultCtx(context.Background(), bench, mode, v)
+}
+
+// resultCtx runs (or recalls) one simulation. Concurrent callers for the
+// same key block until the executing goroutine finishes and then share
+// its *sim.Result; a caller whose ctx expires first unregisters, and the
+// last such caller aborts the run.
+func (s *Session) resultCtx(ctx context.Context, bench string, mode coalesce.Mode, v variant) (*sim.Result, error) {
+	k := simKey{bench, mode, v}
+	for {
+		s.mu.Lock()
+		e, hit := s.sims[k]
+		if !hit {
+			runCtx, cancelRun := context.WithCancel(context.Background())
+			e = &memoEntry[*sim.Result]{done: make(chan struct{}), cancel: cancelRun}
+			s.sims[k] = e
+			s.latchLocked()
+			entry := e
+			go func() {
+				entry.val, entry.err = s.runSim(runCtx, k)
+				if cancelled(entry.err) {
+					s.evictSim(k, entry)
+				}
+				close(entry.done)
+				cancelRun()
+			}()
+		}
+		e.waiters++
+		hooks := s.hooks
+		s.mu.Unlock()
+		s.noteMemo(hooks, hit, bench, mode.String())
+
+		select {
+		case <-e.done:
+			s.mu.Lock()
+			e.waiters--
+			s.mu.Unlock()
+			// A run aborted by *other* waiters' departure memoises a
+			// cancellation error and leaves the memo; a caller whose
+			// own context is still live retries on a fresh entry.
+			if cancelled(e.err) && ctx.Err() == nil {
+				continue
+			}
+			return e.val, e.err
+		case <-ctx.Done():
+			s.mu.Lock()
+			e.waiters--
+			select {
+			case <-e.done:
+				// Finished while we were leaving: use the result.
+				s.mu.Unlock()
+				return e.val, e.err
+			default:
+			}
+			last := e.waiters == 0
+			s.mu.Unlock()
+			if last {
+				e.cancel()
+			}
+			return nil, fmt.Errorf("experiments: %s abandoned: %w", k, ctx.Err())
+		}
+	}
+}
+
+// evictSim removes a cancelled entry from the memo (unless a newer entry
+// already replaced it).
+func (s *Session) evictSim(k simKey, e *memoEntry[*sim.Result]) {
+	s.mu.Lock()
+	if s.sims[k] == e {
+		delete(s.sims, k)
 	}
 	s.mu.Unlock()
-	if hit {
-		<-e.done
-		return e.val, e.err
-	}
-	e.val, e.err = s.runSim(k)
-	close(e.done)
-	return e.val, e.err
 }
 
 // runSim executes one simulation to completion. The runner lives and
 // dies on the calling goroutine.
-func (s *Session) runSim(k simKey) (*sim.Result, error) {
-	runner, err := sim.NewRunner(s.simConfig(k.bench, k.mode, k.v))
+func (s *Session) runSim(ctx context.Context, k simKey) (*sim.Result, error) {
+	cfg := s.simConfig(k.bench, k.mode, k.v)
+	cfg.Hooks = s.hooks
+	runner, err := sim.NewRunner(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", k, err)
 	}
-	res, err := runner.Run()
+	res, err := runner.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", k, err)
 	}
@@ -139,37 +260,80 @@ func (s *Session) runSim(k simKey) (*sim.Result, error) {
 
 // trace captures (or recalls) the LLC-level request stream of one
 // benchmark under the PAC configuration; used by the trace analyses of
-// Figures 2, 8 and 9. Traces are memoised with the same singleflight
-// discipline as results.
+// Figures 2, 8 and 9. Traces are memoised with the same singleflight and
+// cancellation discipline as results.
 func (s *Session) trace(bench string) ([]mem.Request, error) {
-	s.mu.Lock()
-	e, hit := s.traces[bench]
-	if !hit {
-		e = &memoEntry[[]mem.Request]{done: make(chan struct{})}
-		s.traces[bench] = e
-		s.latchProgressLocked()
+	return s.traceCtx(context.Background(), bench)
+}
+
+func (s *Session) traceCtx(ctx context.Context, bench string) ([]mem.Request, error) {
+	for {
+		s.mu.Lock()
+		e, hit := s.traces[bench]
+		if !hit {
+			runCtx, cancelRun := context.WithCancel(context.Background())
+			e = &memoEntry[[]mem.Request]{done: make(chan struct{}), cancel: cancelRun}
+			s.traces[bench] = e
+			s.latchLocked()
+			entry := e
+			go func() {
+				entry.val, entry.err = s.runTrace(runCtx, bench)
+				if cancelled(entry.err) {
+					s.mu.Lock()
+					if s.traces[bench] == entry {
+						delete(s.traces, bench)
+					}
+					s.mu.Unlock()
+				}
+				close(entry.done)
+				cancelRun()
+			}()
+		}
+		e.waiters++
+		hooks := s.hooks
+		s.mu.Unlock()
+		s.noteMemo(hooks, hit, "trace:"+bench, "")
+
+		select {
+		case <-e.done:
+			s.mu.Lock()
+			e.waiters--
+			s.mu.Unlock()
+			if cancelled(e.err) && ctx.Err() == nil {
+				continue
+			}
+			return e.val, e.err
+		case <-ctx.Done():
+			s.mu.Lock()
+			e.waiters--
+			select {
+			case <-e.done:
+				s.mu.Unlock()
+				return e.val, e.err
+			default:
+			}
+			last := e.waiters == 0
+			s.mu.Unlock()
+			if last {
+				e.cancel()
+			}
+			return nil, fmt.Errorf("experiments: trace %s abandoned: %w", bench, ctx.Err())
+		}
 	}
-	s.mu.Unlock()
-	if hit {
-		<-e.done
-		return e.val, e.err
-	}
-	e.val, e.err = s.runTrace(bench)
-	close(e.done)
-	return e.val, e.err
 }
 
 // runTrace executes one trace-capturing simulation on the calling
 // goroutine.
-func (s *Session) runTrace(bench string) ([]mem.Request, error) {
+func (s *Session) runTrace(ctx context.Context, bench string) ([]mem.Request, error) {
 	var reqs []mem.Request
 	cfg := s.simConfig(bench, coalesce.ModePAC, varDefault)
 	cfg.TraceSink = func(r mem.Request) { reqs = append(reqs, r) }
+	cfg.Hooks = s.hooks
 	runner, err := sim.NewRunner(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)
 	}
-	if _, err := runner.Run(); err != nil {
+	if _, err := runner.RunContext(ctx); err != nil {
 		return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)
 	}
 	s.noteDone(fmt.Sprintf("traced %-10s requests=%d", bench, len(reqs)))
@@ -256,11 +420,14 @@ func allTraces() []need {
 // run — the table contents depend only on each simulation's own
 // deterministic result, never on completion order.
 //
-// workers <= 0 falls back to Options.Parallel, and to
-// runtime.GOMAXPROCS(0) when that is unset too. Errors are memoised like
-// results; Precompute returns one of the errors encountered (callers
-// re-running the failing experiment get the same error from the memo).
-func (s *Session) Precompute(workers int, ids ...string) error {
+// Cancelling ctx stops feeding the pool and abandons the in-flight
+// simulations (each aborts once its last waiter disconnects); Precompute
+// then returns the context error. workers <= 0 falls back to
+// Options.Parallel, and to runtime.GOMAXPROCS(0) when that is unset too.
+// Errors are memoised like results; Precompute returns one of the errors
+// encountered (callers re-running the failing experiment get the same
+// error from the memo).
+func (s *Session) Precompute(ctx context.Context, workers int, ids ...string) error {
 	exps := All()
 	if len(ids) > 0 {
 		exps = exps[:0:0]
@@ -301,10 +468,10 @@ func (s *Session) Precompute(workers int, ids ...string) error {
 		fresh = append(fresh, j)
 	}
 	s.planned = s.ran + len(fresh)
-	s.latchProgressLocked()
+	s.latchLocked()
 	s.mu.Unlock()
 	if len(fresh) == 0 {
-		return nil
+		return ctx.Err()
 	}
 
 	if workers <= 0 {
@@ -330,9 +497,9 @@ func (s *Session) Precompute(workers int, ids ...string) error {
 			for j := range ch {
 				var err error
 				if j.trace {
-					_, err = s.trace(j.bench)
+					_, err = s.traceCtx(ctx, j.bench)
 				} else {
-					_, err = s.result(j.bench, j.mode, j.v)
+					_, err = s.resultCtx(ctx, j.bench, j.mode, j.v)
 				}
 				if err != nil {
 					errMu.Lock()
@@ -344,11 +511,19 @@ func (s *Session) Precompute(workers int, ids ...string) error {
 			}
 		}()
 	}
+feed:
 	for _, j := range fresh {
-		ch <- j
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return firstErr
 }
 

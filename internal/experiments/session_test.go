@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -91,7 +92,7 @@ func TestParallelDeterminism(t *testing.T) {
 
 	parallelRender := func() []byte {
 		s := NewSession(opts)
-		if err := s.Precompute(8); err != nil {
+		if err := s.Precompute(context.Background(), 8); err != nil {
 			t.Fatal(err)
 		}
 		before := s.Completed()
@@ -126,7 +127,7 @@ func TestPrecomputeProgressMonotonic(t *testing.T) {
 	s := NewSession(opts)
 	var lines []string
 	s.Progress = func(line string) { lines = append(lines, line) }
-	if err := s.Precompute(8, "fig6a", "fig6c"); err != nil {
+	if err := s.Precompute(context.Background(), 8, "fig6a", "fig6c"); err != nil {
 		t.Fatal(err)
 	}
 	if len(lines) == 0 {
@@ -143,7 +144,7 @@ func TestPrecomputeProgressMonotonic(t *testing.T) {
 
 // TestPrecomputeUnknownExperiment checks the error path.
 func TestPrecomputeUnknownExperiment(t *testing.T) {
-	if err := NewSession(testOptions()).Precompute(2, "nope"); err == nil {
+	if err := NewSession(testOptions()).Precompute(context.Background(), 2, "nope"); err == nil {
 		t.Fatal("expected error for unknown experiment ID")
 	}
 }

@@ -1,0 +1,421 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/report"
+	"github.com/pacsim/pac/internal/telemetry"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+// Request bounds: a resident daemon must not let one query monopolise
+// memory or CPU for hours.
+const (
+	maxCores    = 128
+	maxAccesses = 10_000_000
+	maxScale    = 100.0
+)
+
+// sessionPool is the LRU-capped pool of shared experiments.Session
+// result caches, keyed by the canonical hash of their (normalized)
+// options. Every session shares the server's telemetry hooks and
+// broadcasts its progress lines to the running jobs.
+type sessionPool struct {
+	mu       sync.Mutex
+	cap      int
+	seq      int64
+	hooks    *telemetry.Hooks
+	progress func(string)
+	entries  map[string]*poolEntry
+}
+
+type poolEntry struct {
+	sess    *experiments.Session
+	lastUse int64
+}
+
+func newSessionPool(cap int, hooks *telemetry.Hooks, progress func(string)) *sessionPool {
+	return &sessionPool{
+		cap:      cap,
+		hooks:    hooks,
+		progress: progress,
+		entries:  make(map[string]*poolEntry),
+	}
+}
+
+// session finds or creates the session for the given fully-specified
+// options, returning it with its canonical options hash. The least
+// recently used session is evicted beyond the cap; in-flight jobs keep
+// their own reference, so eviction only drops the pool's cache.
+func (p *sessionPool) session(opts experiments.Options) (*experiments.Session, string) {
+	key := optionsHash(opts)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	if e, ok := p.entries[key]; ok {
+		e.lastUse = p.seq
+		return e.sess, key
+	}
+	sess := experiments.NewSession(opts)
+	sess.Hooks = p.hooks
+	sess.Progress = p.progress
+	p.entries[key] = &poolEntry{sess: sess, lastUse: p.seq}
+	for len(p.entries) > p.cap {
+		oldestKey, oldest := "", int64(1<<62)
+		for k, e := range p.entries {
+			if e.lastUse < oldest {
+				oldestKey, oldest = k, e.lastUse
+			}
+		}
+		delete(p.entries, oldestKey)
+	}
+	return sess, key
+}
+
+// optionsHash is the canonical hash of fully-specified options: the
+// SHA-256 of their fixed-order JSON encoding, truncated for readability.
+// Two requests normalising to the same options share a session (and
+// therefore a result cache).
+func optionsHash(o experiments.Options) string {
+	o.Parallel = 0 // worker count never changes results
+	b, _ := json.Marshal(o)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// configHash keys one simulate request: options hash + benchmark + mode.
+func configHash(optsKey, bench string, mode coalesce.Mode) string {
+	sum := sha256.Sum256([]byte(optsKey + "/" + bench + "/" + mode.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// SimulateRequest is the body of POST /v1/simulate. Zero-valued fields
+// inherit the daemon's base options.
+type SimulateRequest struct {
+	Benchmark       string  `json:"benchmark"`
+	Mode            string  `json:"mode"`
+	Cores           int     `json:"cores"`
+	AccessesPerCore int     `json:"accessesPerCore"`
+	Scale           float64 `json:"scale"`
+	Seed            uint64  `json:"seed"`
+	L1Bytes         int     `json:"l1Bytes"`
+	LLCBytes        int     `json:"llcBytes"`
+}
+
+// SimulateResult is the payload of a finished simulate job. Result uses
+// the same stats JSON encoding as `pacsim -bench -json`.
+type SimulateResult struct {
+	Benchmark  string `json:"benchmark"`
+	Mode       string `json:"mode"`
+	ConfigHash string `json:"configHash"`
+	// Cached reports whether the result came from the session memo
+	// without running a new simulation.
+	Cached bool `json:"cached"`
+	Result any  `json:"result"`
+}
+
+// ExperimentResult is the payload of a finished experiment job.
+type ExperimentResult struct {
+	ID       string          `json:"id"`
+	Artefact string          `json:"artefact"`
+	Tables   []*report.Table `json:"tables"`
+	Text     string          `json:"text"`
+}
+
+// validate resolves the request against the server's base options,
+// returning the normalized options, benchmark, and mode.
+func (s *Server) validate(req SimulateRequest) (experiments.Options, string, coalesce.Mode, error) {
+	if req.Benchmark == "" {
+		return experiments.Options{}, "", 0, fmt.Errorf("benchmark is required (one of %s)",
+			strings.Join(workload.Names(), ", "))
+	}
+	found := false
+	for _, n := range workload.Names() {
+		if n == req.Benchmark {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return experiments.Options{}, "", 0, fmt.Errorf("unknown benchmark %q (one of %s)",
+			req.Benchmark, strings.Join(workload.Names(), ", "))
+	}
+	if req.Mode == "" {
+		req.Mode = "pac"
+	}
+	mode, ok := coalesce.ParseMode(req.Mode)
+	if !ok {
+		return experiments.Options{}, "", 0, fmt.Errorf("unknown mode %q (none, dmc, pac, sortnet, rowbuf)", req.Mode)
+	}
+	switch {
+	case req.Cores < 0 || req.Cores > maxCores:
+		return experiments.Options{}, "", 0, fmt.Errorf("cores %d out of range [1, %d]", req.Cores, maxCores)
+	case req.AccessesPerCore < 0 || req.AccessesPerCore > maxAccesses:
+		return experiments.Options{}, "", 0, fmt.Errorf("accessesPerCore %d out of range [1, %d]", req.AccessesPerCore, maxAccesses)
+	case req.Scale < 0 || req.Scale > maxScale:
+		return experiments.Options{}, "", 0, fmt.Errorf("scale %v out of range (0, %v]", req.Scale, maxScale)
+	}
+	opts := s.defaultOptions()
+	if req.Cores > 0 {
+		opts.Cores = req.Cores
+	}
+	if req.AccessesPerCore > 0 {
+		opts.AccessesPerCore = req.AccessesPerCore
+	}
+	if req.Scale > 0 {
+		opts.Scale = req.Scale
+	}
+	if req.Seed != 0 {
+		opts.Seed = req.Seed
+	}
+	if req.L1Bytes > 0 {
+		opts.L1Bytes = req.L1Bytes
+	}
+	if req.LLCBytes > 0 {
+		opts.LLCBytes = req.LLCBytes
+	}
+	return experiments.NewSession(opts).Options(), req.Benchmark, mode, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	opts, bench, mode, err := s.validate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, optsKey := s.pool.session(opts)
+	hash := configHash(optsKey, bench, mode)
+	job, err := s.jobs.submit("simulate", func(ctx context.Context) (any, error) {
+		cached := sess.Memoized(bench, mode)
+		res, err := sess.Result(ctx, bench, mode)
+		if err != nil {
+			return nil, err
+		}
+		return SimulateResult{
+			Benchmark:  bench,
+			Mode:       mode.String(),
+			ConfigHash: hash,
+			Cached:     cached,
+			Result:     res,
+		}, nil
+	})
+	if !s.submitted(w, job, err) {
+		return
+	}
+	s.respondJob(w, r, job)
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, _ *http.Request) {
+	type expView struct {
+		ID       string `json:"id"`
+		Artefact string `json:"artefact"`
+		Desc     string `json:"desc"`
+	}
+	var out []expView
+	for _, e := range experiments.All() {
+		out = append(out, expView{e.ID, e.Artefact, e.Desc})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (GET /v1/experiments lists them)", id))
+		return
+	}
+	sess, _ := s.pool.session(s.defaultOptions())
+	parallel := s.cfg.Parallel
+	job, err := s.jobs.submit("experiment", func(ctx context.Context) (any, error) {
+		// Precompute executes every declared simulation under ctx on the
+		// worker pool; rendering afterwards is pure memo lookup.
+		if err := sess.Precompute(ctx, parallel, id); err != nil {
+			return nil, err
+		}
+		tables, err := exp.Run(sess)
+		if err != nil {
+			return nil, err
+		}
+		var text strings.Builder
+		for _, t := range tables {
+			if err := t.WriteText(&text); err != nil {
+				return nil, err
+			}
+			text.WriteByte('\n')
+		}
+		return ExperimentResult{ID: exp.ID, Artefact: exp.Artefact, Tables: tables, Text: text.String()}, nil
+	})
+	if !s.submitted(w, job, err) {
+		return
+	}
+	s.respondJob(w, r, job)
+}
+
+// submitted maps submit errors to 429/503; it reports whether the job
+// was accepted.
+func (s *Server) submitted(w http.ResponseWriter, job *Job, err error) bool {
+	switch err {
+	case nil:
+		return true
+	case errBusy:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+	case errDraining:
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return false
+}
+
+// respondJob answers a submission: 202 with the job view, or — when the
+// request carries ?wait= — the terminal view once the job finishes
+// within the window (200), falling back to 202 with the current state.
+func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, job *Job) {
+	wait, err := waitWindow(r, s.cfg.RequestTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if wait > 0 && s.await(r.Context(), job, wait) {
+		writeJSON(w, http.StatusOK, job.view(true))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, job.view(false))
+}
+
+// waitWindow parses ?wait= (a Go duration such as "30s", or a plain
+// number of seconds), capped by the server's request timeout.
+func waitWindow(r *http.Request, cap time.Duration) (time.Duration, error) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		var secs float64
+		if _, serr := fmt.Sscanf(raw, "%f", &secs); serr != nil {
+			return 0, fmt.Errorf("bad wait %q: %v", raw, err)
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("bad wait %q: negative", raw)
+	}
+	if d > cap {
+		d = cap
+	}
+	return d, nil
+}
+
+// await blocks until the job finishes, the window closes, or the client
+// disconnects; it reports whether the job reached a terminal state.
+func (s *Server) await(ctx context.Context, job *Job, window time.Duration) bool {
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	select {
+	case <-job.Done():
+		return true
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	return job.Status().terminal()
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	views := []jobView{}
+	for _, j := range s.jobs.list() {
+		views = append(views, j.view(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	wait, err := waitWindow(r, s.cfg.RequestTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if wait > 0 {
+		s.await(r.Context(), job, wait)
+	}
+	writeJSON(w, http.StatusOK, job.view(true))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.jobs.cancelJob(job)
+	writeJSON(w, http.StatusOK, job.view(false))
+}
+
+// handleJobEvents streams job progress as Server-Sent Events: one
+// "progress" event per line, then a single "done" event carrying the
+// job's terminal view.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	lines, unsubscribe := job.subscribe()
+	defer unsubscribe()
+	for {
+		select {
+		case line, open := <-lines:
+			if !open {
+				// Terminal: emit the final state and end the stream.
+				payload, _ := json.Marshal(job.view(true))
+				fmt.Fprintf(w, "event: done\ndata: %s\n\n", payload)
+				flusher.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", sseEscape(line))
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// sseEscape keeps multi-line progress payloads inside one data field.
+func sseEscape(line string) string {
+	return strings.ReplaceAll(line, "\n", " ")
+}

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pacsim/pac/internal/telemetry"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// terminal reports whether the status is final.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// errBusy is returned by submit when the bounded queue is full; the API
+// layer maps it to 429 + Retry-After.
+var errBusy = errors.New("server: job queue full")
+
+// errDraining is returned after drain started; the API maps it to 503.
+var errDraining = errors.New("server: draining, not accepting jobs")
+
+// maxProgressLines bounds per-job progress retention; older lines are
+// dropped from the front (SSE subscribers still see every line live).
+const maxProgressLines = 256
+
+// Job is one queued unit of work: a simulation or an experiment run.
+type Job struct {
+	id   string
+	kind string
+
+	run func(ctx context.Context) (any, error)
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	result   json.RawMessage
+	progress []string
+	dropped  int // progress lines evicted by the retention cap
+	subs     []chan string
+	done     chan struct{}
+	cancel   context.CancelFunc // cancels the running job's context
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns the job's current state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// addProgress appends one progress line and fans it out to subscribers.
+func (j *Job) addProgress(line string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return
+	}
+	j.progress = append(j.progress, line)
+	if len(j.progress) > maxProgressLines {
+		j.dropped += len(j.progress) - maxProgressLines
+		j.progress = j.progress[len(j.progress)-maxProgressLines:]
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- line:
+		default: // slow subscriber: drop rather than block the job
+		}
+	}
+}
+
+// subscribe registers a progress listener, replaying the lines seen so
+// far; the channel is closed when the job finishes. The returned cancel
+// must be called when the listener leaves.
+func (j *Job) subscribe() (<-chan string, func()) {
+	ch := make(chan string, maxProgressLines)
+	j.mu.Lock()
+	replay := append([]string(nil), j.progress...)
+	closed := j.status.terminal()
+	if !closed {
+		j.subs = append(j.subs, ch)
+	}
+	j.mu.Unlock()
+	for _, line := range replay {
+		ch <- line
+	}
+	if closed {
+		close(ch)
+		return ch, func() {}
+	}
+	return ch, func() {
+		j.mu.Lock()
+		for i, c := range j.subs {
+			if c == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// finish moves the job to a terminal state, closing done and every
+// subscriber channel.
+func (j *Job) finish(status Status, result json.RawMessage, err error) {
+	j.mu.Lock()
+	if j.status.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.result = result
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.finished = time.Now()
+	subs := j.subs
+	j.subs = nil
+	close(j.done)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// jobView is the JSON representation of a job.
+type jobView struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	Status     Status          `json:"status"`
+	Error      string          `json:"error,omitempty"`
+	Progress   []string        `json:"progress,omitempty"`
+	Dropped    int             `json:"progressDropped,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	CreatedAt  time.Time       `json:"createdAt"`
+	StartedAt  *time.Time      `json:"startedAt,omitempty"`
+	FinishedAt *time.Time      `json:"finishedAt,omitempty"`
+}
+
+// view snapshots the job; withResult controls whether the (potentially
+// large) result payload is included.
+func (j *Job) view(withResult bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:        j.id,
+		Kind:      j.kind,
+		Status:    j.status,
+		Error:     j.err,
+		Progress:  append([]string(nil), j.progress...),
+		Dropped:   j.dropped,
+		CreatedAt: j.created,
+	}
+	if withResult {
+		v.Result = j.result
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// jobManager owns the bounded queue, the worker pool, and the job store.
+type jobManager struct {
+	hooks      *telemetry.Hooks
+	reg        *telemetry.Registry
+	jobTimeout time.Duration
+	retain     int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string // insertion order, for retention eviction
+	nextID    int
+	accepting bool
+	closing   sync.Once
+}
+
+func newJobManager(workers, depth int, jobTimeout time.Duration, retain int,
+	hooks *telemetry.Hooks, reg *telemetry.Registry) *jobManager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &jobManager{
+		hooks:      hooks,
+		reg:        reg,
+		jobTimeout: jobTimeout,
+		retain:     retain,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, depth),
+		jobs:       make(map[string]*Job),
+		accepting:  true,
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// submit enqueues a job; errBusy when the queue is full, errDraining
+// after drain started.
+func (m *jobManager) submit(kind string, run func(ctx context.Context) (any, error)) (*Job, error) {
+	m.mu.Lock()
+	if !m.accepting {
+		m.mu.Unlock()
+		return nil, errDraining
+	}
+	m.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("j%06d", m.nextID),
+		kind:    kind,
+		run:     run,
+		status:  StatusQueued,
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.nextID-- // reuse the ID; the job never existed
+		m.mu.Unlock()
+		m.reg.Counter("pac_jobs_rejected_total", "Jobs rejected with 429 on a full queue.").Inc()
+		return nil, errBusy
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	m.mu.Unlock()
+	m.reg.Counter("pac_jobs_submitted_total", "Jobs accepted into the queue.", "kind", kind).Inc()
+	m.noteDepth()
+	return j, nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+func (m *jobManager) evictLocked() {
+	if m.retain <= 0 || len(m.jobs) <= m.retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if len(m.jobs) > m.retain && j != nil && j.Status().terminal() {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// get finds a job by ID.
+func (m *jobManager) get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list snapshots every retained job in submission order.
+func (m *jobManager) list() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// cancelJob aborts a queued or running job.
+func (m *jobManager) cancelJob(j *Job) {
+	j.mu.Lock()
+	switch {
+	case j.status == StatusQueued:
+		// Finish directly; the worker skips terminal jobs on pickup.
+		j.mu.Unlock()
+		j.finish(StatusCancelled, nil, context.Canceled)
+		m.noteFinished(j, StatusCancelled)
+		m.noteDepth()
+		return
+	case j.status == StatusRunning && j.cancel != nil:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+		return
+	}
+	j.mu.Unlock()
+}
+
+// worker executes jobs from the queue until it closes.
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	running := m.reg.Gauge("pac_jobs_running", "Jobs currently executing.")
+	for j := range m.queue {
+		m.noteDepth()
+		j.mu.Lock()
+		if j.status != StatusQueued {
+			j.mu.Unlock()
+			continue
+		}
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if m.jobTimeout > 0 {
+			ctx, cancel = context.WithTimeout(m.baseCtx, m.jobTimeout)
+		} else {
+			ctx, cancel = context.WithCancel(m.baseCtx)
+		}
+		j.status = StatusRunning
+		j.cancel = cancel
+		j.started = time.Now()
+		j.mu.Unlock()
+
+		running.Inc()
+		result, err := j.run(ctx)
+		running.Dec()
+		cancel()
+
+		var status Status
+		var payload json.RawMessage
+		switch {
+		case err == nil:
+			status = StatusDone
+			if result != nil {
+				if payload, err = json.Marshal(result); err != nil {
+					status = StatusFailed
+					payload = nil
+				}
+			}
+		case isCancelled(err):
+			status = StatusCancelled
+		default:
+			status = StatusFailed
+		}
+		j.finish(status, payload, err)
+		m.noteFinished(j, status)
+	}
+}
+
+func isCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (m *jobManager) noteFinished(j *Job, status Status) {
+	m.reg.Counter("pac_jobs_finished_total", "Jobs finished, by kind and status.",
+		"kind", j.kind, "status", string(status)).Inc()
+}
+
+// noteDepth records the queue depth through the telemetry hooks (the
+// KindQueueDepth event keeps the pac_jobs_queue_depth gauge current).
+func (m *jobManager) noteDepth() {
+	m.hooks.Emit(telemetry.Event{Kind: telemetry.KindQueueDepth, Depth: len(m.queue)})
+}
+
+// broadcastProgress fans one session progress line out to every running
+// job — simulations are shared singleflight work, so every job waiting
+// on the pool legitimately observes the same completions.
+func (m *jobManager) broadcastProgress(line string) {
+	for _, j := range m.list() {
+		if j.Status() == StatusRunning {
+			j.addProgress(line)
+		}
+	}
+}
+
+// drain stops accepting jobs, closes the queue, and waits for the
+// workers to finish the backlog. When ctx expires first, the remaining
+// jobs are cancelled and drain waits for them to unwind.
+func (m *jobManager) drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.accepting = false
+	m.mu.Unlock()
+	m.closing.Do(func() { close(m.queue) })
+
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // abort in-flight jobs
+		<-finished
+		return fmt.Errorf("server: drain timed out, %d in-flight jobs cancelled: %w",
+			len(m.queue), ctx.Err())
+	}
+}

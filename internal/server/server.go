@@ -1,0 +1,249 @@
+// Package server is the pacd serving layer: an HTTP JSON API over the
+// experiment harness, backed by a bounded job queue and a pool of shared
+// experiments.Session result caches. One resident daemon amortises
+// process startup and simulation work across many small queries — the
+// characterisation-study workload the ROADMAP targets.
+//
+// Endpoints:
+//
+//	GET    /v1/experiments           list runnable paper artefacts
+//	POST   /v1/simulate              run one benchmark/mode simulation
+//	POST   /v1/experiments/{id}/run  regenerate one paper artefact
+//	GET    /v1/jobs                  list retained jobs
+//	GET    /v1/jobs/{id}[?wait=30s]  job state, optionally long-polling
+//	GET    /v1/jobs/{id}/events      SSE progress stream
+//	DELETE /v1/jobs/{id}             cancel a queued or running job
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus text exposition
+//	/debug/pprof/*                   optional (Config.EnablePprof)
+//
+// Work the API accepts becomes a Job on a bounded queue served by a
+// fixed worker pool; a full queue answers 429 with Retry-After, and
+// SIGTERM handling in cmd/pacd drains the queue before exit. Simulation
+// results are cached in experiments.Session memos keyed by a canonical
+// config hash, so a repeated POST /v1/simulate is a memo hit (visible in
+// pac_session_memo_hits_total) and runs no new simulation.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/telemetry"
+)
+
+// Config parameterises the daemon. The zero value serves the paper's
+// Table 1 scale with sensible bounds.
+type Config struct {
+	// Options are the base experiment options: the default session every
+	// experiment job and unparameterised simulate request runs in.
+	Options experiments.Options
+	// Parallel is the Precompute worker count for experiment jobs
+	// (0: Options.Parallel, then GOMAXPROCS).
+	Parallel int
+	// Concurrency is the number of jobs executing at once
+	// (0: GOMAXPROCS).
+	Concurrency int
+	// QueueDepth bounds the waiting-job queue; a full queue answers 429
+	// (default 16).
+	QueueDepth int
+	// MaxSessions caps the LRU pool of distinct-option sessions
+	// (default 8). Each session holds memoised simulation results, so
+	// the cap bounds result-cache memory.
+	MaxSessions int
+	// RequestTimeout caps synchronous waiting (?wait=...) per request
+	// (default 60s).
+	RequestTimeout time.Duration
+	// JobTimeout aborts a job still running after this long
+	// (default 15m).
+	JobTimeout time.Duration
+	// RetainJobs bounds finished jobs kept for GET /v1/jobs
+	// (default 256).
+	RetainJobs int
+	// Registry receives all metrics; nil creates a fresh one.
+	Registry *telemetry.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 256
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = c.Options.Parallel
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server wires the job manager, the session pool, and the HTTP mux.
+type Server struct {
+	cfg   Config
+	reg   *telemetry.Registry
+	hooks *telemetry.Hooks
+	pool  *sessionPool
+	jobs  *jobManager
+	mux   http.Handler
+	start time.Time
+}
+
+// New builds a ready-to-serve server; callers mount Handler on an
+// http.Server and call Drain on shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, reg: cfg.Registry, start: time.Now()}
+	s.hooks = telemetry.InstrumentedHooks(s.reg)
+	s.jobs = newJobManager(cfg.Concurrency, cfg.QueueDepth, cfg.JobTimeout,
+		cfg.RetainJobs, s.hooks, s.reg)
+	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress)
+	// Materialise the default session eagerly so the daemon's base
+	// options are always resident and experiment jobs share one memo.
+	s.pool.session(s.defaultOptions())
+	s.mux = s.routes()
+	return s
+}
+
+// defaultOptions returns the fully-specified base options (the canonical
+// form every request-level default merges into).
+func (s *Server) defaultOptions() experiments.Options {
+	o := s.cfg.Options
+	o.Parallel = s.cfg.Parallel
+	return experiments.NewSession(o).Options() // normalized
+}
+
+// Registry exposes the metric registry (for /metrics and tests).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Handler returns the root handler, including /healthz and /metrics.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting jobs and waits for the backlog; see
+// jobManager.drain.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// instrument counts requests per coarse route and status code.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE streaming works through
+// the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.reg.Counter("pac_http_requests_total", "HTTP requests by route and status.",
+			"route", routeLabel(r.URL.Path), "code", strconv.Itoa(sw.code)).Inc()
+		s.reg.Histogram("pac_http_request_seconds", "HTTP request latency.",
+			telemetry.DefaultDurationBuckets()).Observe(time.Since(start).Seconds())
+	})
+}
+
+// routeLabel collapses request paths into a bounded label set (job and
+// experiment IDs would otherwise explode series cardinality).
+func routeLabel(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/jobs"):
+		if strings.HasSuffix(path, "/events") {
+			return "/v1/jobs/{id}/events"
+		}
+		if path == "/v1/jobs" {
+			return "/v1/jobs"
+		}
+		return "/v1/jobs/{id}"
+	case strings.HasPrefix(path, "/v1/experiments"):
+		if strings.HasSuffix(path, "/run") {
+			return "/v1/experiments/{id}/run"
+		}
+		return "/v1/experiments"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "/debug/pprof"
+	case path == "/v1/simulate", path == "/healthz", path == "/metrics":
+		return path
+	default:
+		return "other"
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders the uniform error envelope.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

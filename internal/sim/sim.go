@@ -9,7 +9,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/pacsim/pac/internal/cache"
 	"github.com/pacsim/pac/internal/coalesce"
@@ -18,6 +20,7 @@ import (
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/mshr"
 	"github.com/pacsim/pac/internal/prefetch"
+	"github.com/pacsim/pac/internal/telemetry"
 	"github.com/pacsim/pac/internal/vm"
 	"github.com/pacsim/pac/internal/workload"
 )
@@ -100,6 +103,11 @@ type Config struct {
 	// write-backs, atomics) with its issue cycle; used by the trace
 	// analyses of Figures 2, 8 and 9.
 	TraceSink func(mem.Request)
+	// Hooks, when set, receives telemetry events: simulation start,
+	// completion (with wall time and cycle count), cancellation, and the
+	// finished run's cache-hierarchy counters. Hooks never influence
+	// simulation results; nil drops every event.
+	Hooks *telemetry.Hooks
 	// MaxCycles aborts a wedged simulation; 0 means a generous bound
 	// derived from the trace length.
 	MaxCycles int64
@@ -307,8 +315,34 @@ func NewRunner(cfg Config) (*Runner, error) {
 }
 
 // Run executes the simulation to completion and returns the result.
-func (r *Runner) Run() (*Result, error) {
+func (r *Runner) Run() (*Result, error) { return r.RunContext(context.Background()) }
+
+// cancelCheckMask throttles context polling: the context is consulted
+// once every 4096 simulated cycles, so cancellation lands within
+// microseconds of wall time without touching the hot loop's cost.
+const cancelCheckMask = 1<<12 - 1
+
+// RunContext executes the simulation to completion, aborting promptly
+// (within a few thousand simulated cycles) when ctx is cancelled. The
+// returned error wraps ctx.Err() on cancellation, so callers can test it
+// with errors.Is. Telemetry hooks, when configured, see one started
+// event and exactly one completed or cancelled event per call.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	hooks := r.cfg.Hooks
+	bench := r.res.Name()
+	mode := r.cfg.Mode.String()
+	hooks.Emit(telemetry.Event{Kind: telemetry.KindSimStarted, Bench: bench, Mode: mode})
+	start := time.Now()
+	done := ctx.Done()
 	for !r.finished() {
+		if done != nil && r.now&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				hooks.Emit(telemetry.Event{Kind: telemetry.KindSimCancelled, Bench: bench, Mode: mode})
+				return nil, fmt.Errorf("sim: cancelled after %d cycles: %w", r.now, ctx.Err())
+			default:
+			}
+		}
 		if r.now >= r.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d (packets=%d, free MSHRs=%d, pipeline drained=%v)",
 				r.cfg.MaxCycles, r.res.MemPackets, r.file.Available(), r.pipe.Drained())
@@ -316,6 +350,14 @@ func (r *Runner) Run() (*Result, error) {
 		r.step()
 	}
 	r.collect()
+	hooks.Emit(telemetry.Event{
+		Kind:   telemetry.KindSimCompleted,
+		Bench:  bench,
+		Mode:   mode,
+		Wall:   time.Since(start),
+		Cycles: r.res.Cycles,
+	})
+	r.hier.Record(hooks, bench)
 	return &r.res, nil
 }
 

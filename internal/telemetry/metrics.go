@@ -1,0 +1,150 @@
+// Package telemetry is the stdlib-only metrics layer of the repo: a
+// concurrent registry of counters, gauges, and fixed-bucket histograms
+// with Prometheus-text exposition, plus the cheap event-hook type the
+// simulator, the cache hierarchy, the experiment session, and the pacd
+// job queue record into.
+//
+// The package splits into two halves. The metric half (Registry,
+// Counter, Gauge, Histogram) is lock-cheap and safe for concurrent use
+// from any number of goroutines. The event half (Hooks, Event) is a
+// single latched callback, serialized like experiments.Session.Progress,
+// that decouples the instrumented packages from the metric names;
+// InstrumentedHooks bridges the two by translating events into the
+// canonical pac_* metrics.
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64, safe for concurrent
+// use. The zero value is ready.
+type Counter struct {
+	bits atomic.Uint64 // math.Float64bits representation
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative deltas are ignored (counters
+// are monotonic by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+// The zero value is ready.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v (negative deltas allowed).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations in a fixed set of upper-bound buckets
+// (plus the implicit +Inf bucket) and tracks their sum, matching the
+// Prometheus histogram model. It is safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	upper  []float64 // ascending upper bounds, exclusive of +Inf
+	counts []int64   // per-bucket (non-cumulative) observation counts
+	inf    int64     // observations above the last bound
+	sum    float64
+	n      int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]int64, len(buckets)),
+	}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	placed := false
+	for i, b := range h.upper {
+		if v <= b {
+			h.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf++
+	}
+	h.sum += v
+	h.n++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts aligned with upper, the +Inf
+// total, and the sum, under the histogram lock.
+func (h *Histogram) snapshot() (upper []float64, cum []int64, n int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return h.upper, cum, h.n, h.sum
+}
+
+// DefaultDurationBuckets are the fixed wall-time buckets (seconds) used
+// by the canonical pac_* histograms: sub-millisecond simulations at quick
+// scale up to minute-long full-scale runs.
+func DefaultDurationBuckets() []float64 {
+	return []float64{.001, .005, .01, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a concurrent collection of named metric families. Each
+// family holds one metric type (counter, gauge, or histogram) and any
+// number of label-distinguished series; getter methods create series on
+// first use and return the existing series afterwards, so call sites can
+// look metrics up on the hot path without registration ceremony.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order, sorted at exposition
+}
+
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histogram families only
+	series          map[string]any
+	keys            []string // series label keys in creation order
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family finds or creates the named family, panicking on a type clash —
+// re-registering a name as a different metric type is a programming
+// error, not a runtime condition.
+func (r *Registry) family(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]any)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// Counter returns the counter series for name and the given label pairs
+// ("key", "value", ...), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	key := labelKey(labels)
+	c, ok := f.series[key].(*Counter)
+	if !ok {
+		c = &Counter{}
+		f.add(key, c)
+	}
+	return c
+}
+
+// Gauge returns the gauge series for name and label pairs, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	key := labelKey(labels)
+	g, ok := f.series[key].(*Gauge)
+	if !ok {
+		g = &Gauge{}
+		f.add(key, g)
+	}
+	return g
+}
+
+// Histogram returns the fixed-bucket histogram series for name and label
+// pairs, creating it on first use. The bucket bounds of a family are
+// fixed by its first registration; later calls may pass nil.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	if f.buckets == nil {
+		if len(buckets) == 0 {
+			buckets = DefaultDurationBuckets()
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	key := labelKey(labels)
+	h, ok := f.series[key].(*Histogram)
+	if !ok {
+		h = newHistogram(f.buckets)
+		f.add(key, h)
+	}
+	return h
+}
+
+func (f *family) add(key string, m any) {
+	f.series[key] = m
+	f.keys = append(f.keys, key)
+}
+
+// Value returns the current value of the counter or gauge series, and
+// whether that series exists. Histograms report their observation count.
+// Intended for tests and health summaries, not hot paths.
+func (r *Registry) Value(name string, labels ...string) (float64, bool) {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	var m any
+	if ok {
+		m, ok = f.series[labelKey(labels)]
+	}
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch v := m.(type) {
+	case *Counter:
+		return v.Value(), true
+	case *Gauge:
+		return v.Value(), true
+	case *Histogram:
+		return float64(v.Count()), true
+	}
+	return 0, false
+}
+
+// labelKey renders label pairs ("k", "v", ...) into the canonical
+// `{k="v",...}` suffix, sorted by key. Odd trailing labels are a
+// programming error and panic.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name, series within a
+// family in creation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	// Snapshot family pointers under the lock; series values are read
+	// atomically (or under their own lock) during rendering.
+	fams := make([]*family, 0, len(names))
+	keys := make([][]string, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		fams = append(fams, f)
+		keys = append(keys, append([]string(nil), f.keys...))
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range keys[i] {
+			r.mu.Lock()
+			m := f.series[key]
+			r.mu.Unlock()
+			switch v := m.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %v\n", f.name, key, v.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %v\n", f.name, key, v.Value())
+			case *Histogram:
+				writeHistogram(&b, f.name, key, v)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// the le label merged into any series labels, then _sum and _count.
+func writeHistogram(b *strings.Builder, name, key string, h *Histogram) {
+	upper, cum, n, sum := h.snapshot()
+	withLE := func(le string) string {
+		if key == "" {
+			return `{le="` + le + `"}`
+		}
+		return key[:len(key)-1] + `,le="` + le + `"}`
+	}
+	for i, u := range upper {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(fmt.Sprintf("%v", u)), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE("+Inf"), n)
+	fmt.Fprintf(b, "%s_sum%s %v\n", name, key, sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, key, n)
+}
+
+// Handler serves the registry in the Prometheus text format; mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

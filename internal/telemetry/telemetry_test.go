@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("Value() = %v, want 3.5", got)
+	}
+	c.Add(-1) // counters are monotonic; negative deltas are dropped
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("after negative Add, Value() = %v, want 3.5", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(4)
+	g.Inc()
+	g.Dec()
+	g.Add(-2.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("Value() = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+	if h.Sum() != 16 {
+		t.Errorf("Sum() = %v, want 16", h.Sum())
+	}
+	upper, cum, n, sum := h.snapshot()
+	if len(upper) != 3 || upper[0] != 1 || upper[2] != 5 {
+		t.Fatalf("snapshot upper = %v", upper)
+	}
+	// Cumulative: <=1 holds {0.5, 1}, <=2 adds 1.5, <=5 adds 3; 10 only
+	// lands in +Inf (the total count n).
+	want := []int64{2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	if n != 5 || sum != 16 {
+		t.Errorf("snapshot n=%d sum=%v, want 5, 16", n, sum)
+	}
+}
+
+func TestRegistrySeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "bench", "GS", "mode", "pac")
+	b := r.Counter("x_total", "x", "mode", "pac", "bench", "GS") // label order irrelevant
+	if a != b {
+		t.Error("same labels in different order produced distinct series")
+	}
+	c := r.Counter("x_total", "x", "bench", "PR", "mode", "pac")
+	if a == c {
+		t.Error("different label values shared a series")
+	}
+	a.Add(2)
+	if v, ok := r.Value("x_total", "mode", "pac", "bench", "GS"); !ok || v != 2 {
+		t.Errorf("Value = %v, %v; want 2, true", v, ok)
+	}
+	if _, ok := r.Value("missing_total"); ok {
+		t.Error("Value reported a series that was never registered")
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "as counter")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("clash", "as gauge")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "requests", "code", "200").Add(3)
+	r.Gauge("a_gauge", "depth").Set(7)
+	h := r.Histogram("c_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP a_gauge depth\n# TYPE a_gauge gauge\na_gauge 7\n",
+		"# TYPE b_total counter\nb_total{code=\"200\"} 3\n",
+		"# TYPE c_seconds histogram\n",
+		"c_seconds_bucket{le=\"0.1\"} 1\n",
+		"c_seconds_bucket{le=\"1\"} 1\n",
+		"c_seconds_bucket{le=\"+Inf\"} 2\n",
+		"c_seconds_sum 2.05\n",
+		"c_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name for stable scrapes.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Error("families are not sorted by name")
+	}
+}
+
+func TestHistogramLabelsMergeLE(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "latency", []float64{1}, "route", "/x").Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `lat_seconds_bucket{route="/x",le="1"} 1`) {
+		t.Errorf("le label not merged into series labels:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from 32 goroutines — mixed
+// counter/gauge/histogram traffic on shared and per-goroutine series with
+// concurrent scrapes — and checks the final counts are exact. Run under
+// -race this is the registry's thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		goroutines = 32
+		iters      = 200
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bench := []string{"GS", "PR", "BFS", "SSSP"}[i%4]
+			for j := 0; j < iters; j++ {
+				r.Counter("conc_total", "shared counter").Inc()
+				r.Counter("conc_by_bench_total", "labeled", "bench", bench).Inc()
+				r.Gauge("conc_gauge", "gauge").Set(float64(j))
+				r.Histogram("conc_seconds", "hist", []float64{0.5}).Observe(0.1)
+				if j%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if v, _ := r.Value("conc_total"); v != goroutines*iters {
+		t.Errorf("conc_total = %v, want %d", v, goroutines*iters)
+	}
+	for _, bench := range []string{"GS", "PR", "BFS", "SSSP"} {
+		if v, _ := r.Value("conc_by_bench_total", "bench", bench); v != goroutines/4*iters {
+			t.Errorf("conc_by_bench_total{bench=%q} = %v, want %d", bench, v, goroutines/4*iters)
+		}
+	}
+	if v, _ := r.Value("conc_seconds"); v != goroutines*iters {
+		t.Errorf("conc_seconds count = %v, want %d", v, goroutines*iters)
+	}
+}
+
+// TestHooksLatch enforces the set-before-first-use contract shared with
+// experiments.Session.Progress: the observer installed at the first Emit
+// stays latched, later reassignment is ignored.
+func TestHooksLatch(t *testing.T) {
+	h := &Hooks{}
+	first := 0
+	h.Observer = func(Event) { first++ }
+	h.Emit(Event{Kind: KindSimStarted})
+	h.Observer = func(Event) { t.Error("late-assigned observer must not run") }
+	h.Emit(Event{Kind: KindSimCompleted})
+	if first != 2 {
+		t.Errorf("latched observer saw %d events, want 2", first)
+	}
+}
+
+func TestHooksNilSafe(t *testing.T) {
+	var h *Hooks
+	h.Emit(Event{Kind: KindSimStarted}) // must not panic
+	(&Hooks{}).Emit(Event{Kind: KindSimStarted})
+}
+
+// TestHooksConcurrentEmit checks the serialization lock: concurrent Emits
+// never overlap in the observer, so a plain counter is safe.
+func TestHooksConcurrentEmit(t *testing.T) {
+	h := &Hooks{}
+	n := 0
+	h.Observer = func(Event) { n++ }
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Emit(Event{Kind: KindMemoHit})
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 3200 {
+		t.Errorf("observer ran %d times, want 3200", n)
+	}
+}
+
+func TestInstrumentedHooks(t *testing.T) {
+	r := NewRegistry()
+	h := InstrumentedHooks(r)
+	h.Emit(Event{Kind: KindSimStarted, Bench: "GS", Mode: "pac"})
+	h.Emit(Event{Kind: KindSimCompleted, Bench: "GS", Mode: "pac", Wall: 2 * time.Second, Cycles: 1000})
+	h.Emit(Event{Kind: KindSimCancelled, Bench: "GS", Mode: "pac"})
+	h.Emit(Event{Kind: KindMemoHit, Bench: "GS", Mode: "pac"})
+	h.Emit(Event{Kind: KindMemoMiss, Bench: "GS", Mode: "pac"})
+	h.Emit(Event{Kind: KindQueueDepth, Depth: 5})
+	h.Emit(Event{Kind: KindCacheStats, Bench: "GS", Accesses: 100, LLCMisses: 10})
+
+	checks := []struct {
+		name   string
+		labels []string
+		want   float64
+	}{
+		{MetricSimsStarted, nil, 1},
+		{MetricSimsCompleted, nil, 1},
+		{MetricSimsCancelled, nil, 1},
+		{MetricSimWallSeconds, nil, 1}, // histogram: observation count
+		{MetricSimWallByBench, []string{"bench", "GS"}, 2},
+		{MetricSimCycles, nil, 1000},
+		{MetricMemoHits, nil, 1},
+		{MetricMemoMisses, nil, 1},
+		{MetricQueueDepth, nil, 5},
+		{MetricCacheAccesses, []string{"bench", "GS"}, 100},
+		{MetricCacheMisses, []string{"bench", "GS"}, 10},
+	}
+	for _, c := range checks {
+		v, ok := c.want, false
+		if v, ok = r.Value(c.name, c.labels...); !ok || v != c.want {
+			t.Errorf("%s%v = %v, %v; want %v, true", c.name, c.labels, v, ok, c.want)
+		}
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "one").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 text exposition format", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1") {
+		t.Errorf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindSimStarted:   "sim-started",
+		KindSimCompleted: "sim-completed",
+		KindSimCancelled: "sim-cancelled",
+		KindMemoHit:      "memo-hit",
+		KindMemoMiss:     "memo-miss",
+		KindQueueDepth:   "queue-depth",
+		KindCacheStats:   "cache-stats",
+		Kind(99):         "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"github.com/pacsim/pac/internal/experiments"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/report"
+	"github.com/pacsim/pac/internal/server"
 	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/telemetry"
 	"github.com/pacsim/pac/internal/workload"
 )
 
@@ -284,4 +286,47 @@ func RunExperimentIn(s *ExperimentSession, id string) ([]*Table, error) {
 		return nil, fmt.Errorf("pac: unknown experiment %q (see pac.Experiments)", id)
 	}
 	return e.Run(s)
+}
+
+// ParseMode resolves a coalescing-mode name ("none", "dmc", "pac",
+// "sortnet", "rowbuf", case-insensitive) as accepted by the pacd API.
+func ParseMode(s string) (Mode, bool) { return coalesce.ParseMode(s) }
+
+// Serving layer (cmd/pacd): an HTTP JSON API over the experiment
+// harness with a bounded job queue, session result caches keyed by a
+// canonical config hash, and graceful drain. See internal/server for
+// the endpoint list and DESIGN.md §6 for the architecture.
+type (
+	// ServerConfig parameterises the pacd service.
+	ServerConfig = server.Config
+	// Server is the pacd serving layer; mount Handler on an http.Server
+	// and call Drain on shutdown.
+	Server = server.Server
+	// SimulateRequest is the body of POST /v1/simulate.
+	SimulateRequest = server.SimulateRequest
+)
+
+// NewServer builds a ready-to-serve pacd service.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Telemetry (internal/telemetry): the stdlib-only metrics layer the
+// simulator, session memo, and service record into.
+type (
+	// TelemetryRegistry is a concurrent registry of counters, gauges,
+	// and fixed-bucket histograms with Prometheus-text exposition.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryHooks is the latched, serialized event sink shared by
+	// the instrumented packages.
+	TelemetryHooks = telemetry.Hooks
+	// TelemetryEvent is one recorded occurrence.
+	TelemetryEvent = telemetry.Event
+)
+
+// NewTelemetryRegistry creates an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// InstrumentedTelemetryHooks builds hooks whose observer translates
+// events into the canonical pac_* metrics of the registry.
+func InstrumentedTelemetryHooks(r *TelemetryRegistry) *TelemetryHooks {
+	return telemetry.InstrumentedHooks(r)
 }
