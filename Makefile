@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test test-short test-race smoke serve smoke-serve vet \
-        fmt bench figures figures-quick examples fuzz clean
+        fmt bench bench-kernel figures figures-quick examples fuzz clean
 
 all: vet test build
 
@@ -47,6 +47,12 @@ fmt:
 # One testing.B bench per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Event-kernel baseline: figure benches plus the event-vs-reference
+# driver comparison, distilled into BENCH_kernel.json (ns/op, skipped-
+# cycle ratios, per-mode speedups).
+bench-kernel:
+	scripts/bench_baseline.sh
 
 # Regenerate every paper artefact at full Table 1 scale.
 figures:

@@ -138,6 +138,45 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 	}
 }
 
+// BenchmarkKernel contrasts the discrete-event kernel with the retained
+// cycle-by-cycle reference stepper on the same machine, per coalescing
+// mode. The two drivers produce byte-identical Results (the sim
+// equivalence suite proves it); this bench records what that costs —
+// ns/op for each driver plus the share of the clock the kernel skipped.
+func BenchmarkKernel(b *testing.B) {
+	for _, mode := range []Mode{ModeNone, ModeDMC, ModePAC, ModeSortNet, ModeRowBuf} {
+		for _, ref := range []bool{false, true} {
+			driver := "event"
+			if ref {
+				driver = "reference"
+			}
+			b.Run(mode.String()+"/"+driver, func(b *testing.B) {
+				var skippedPct float64
+				for i := 0; i < b.N; i++ {
+					cfg := DefaultSimConfig("GS", mode)
+					cfg.Procs = []ProcSpec{{Benchmark: "GS", Cores: 2}}
+					cfg.Scale = 0.02
+					cfg.AccessesPerCore = 4_000
+					cfg.Hierarchy = cache.HierarchyConfig{
+						Cores: 2,
+						L1:    cache.Config{Size: 2 << 10, Ways: 8},
+						LLC:   cache.Config{Size: 128 << 10, Ways: 8},
+					}
+					cfg.ReferenceStepper = ref
+					res, err := RunBenchmark(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Cycles > 0 {
+						skippedPct = 100 * float64(res.SkippedCycles) / float64(res.Cycles)
+					}
+				}
+				b.ReportMetric(skippedPct, "skipped_%")
+			})
+		}
+	}
+}
+
 // BenchmarkSortingNetworks contrasts the functional comparison networks
 // of the Figure 11a baseline.
 func BenchmarkSortingNetworks(b *testing.B) {

@@ -12,13 +12,22 @@ import (
 	"strings"
 
 	"github.com/pacsim/pac/internal/core"
+	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/mem"
 )
 
 // Pipeline is the coalescing layer as seen by the simulation driver: LLC
 // traffic goes in via Enqueue, coalesced packets come out via Pop, and
 // Tick advances one cycle.
+//
+// Every pipeline is also an engine.Clocked component: NextWake lets the
+// event kernel skip the stretches where Tick would only advance the
+// pipeline's internal clock, and SkipTo performs that advance in one
+// step. The contract mirrors the engine's determinism rules — NextWake
+// is a lower bound on the next productive Tick, and SkipTo must be
+// byte-equivalent to that many inert Ticks.
 type Pipeline interface {
+	engine.Clocked
 	// Enqueue offers one LLC request; wb marks write-back traffic.
 	// A false return means the stage is full and the caller must stall.
 	Enqueue(r mem.Request, wb bool) bool
@@ -26,6 +35,13 @@ type Pipeline interface {
 	Tick()
 	// Pop removes the next ready packet, if any.
 	Pop() (mem.Coalesced, bool)
+	// PushFront returns a popped packet to the head of the output queue.
+	// The driver holds packets back this way when the MSHR file cannot
+	// admit them, so order is preserved; every pipeline must support it.
+	PushFront(pkt mem.Coalesced)
+	// SkipTo fast-forwards the pipeline clock over ticks NextWake
+	// reported as inert.
+	SkipTo(now int64)
 	// Drained reports whether no request remains inside the pipeline.
 	Drained() bool
 	// OutLen returns the number of packets currently waiting in the
@@ -194,3 +210,23 @@ func (p *Passthrough) Drained() bool { return len(p.inQ)+len(p.outQ) == 0 }
 
 // OutLen implements Pipeline.
 func (p *Passthrough) OutLen() int { return len(p.outQ) }
+
+// NextWake implements Pipeline: Tick only ever moves input-queue entries,
+// so an empty input queue means every tick is inert. Output packets wait
+// for the driver's dispatcher and need no wake.
+func (p *Passthrough) NextWake(now int64) int64 {
+	if len(p.inQ) > 0 {
+		return now + 1
+	}
+	return engine.Never
+}
+
+// SkipTo implements Pipeline.
+func (p *Passthrough) SkipTo(now int64) {
+	if len(p.inQ) > 0 {
+		panic("coalesce: SkipTo over a backlogged passthrough")
+	}
+	if now > p.now {
+		p.now = now
+	}
+}

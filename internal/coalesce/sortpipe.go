@@ -1,6 +1,7 @@
 package coalesce
 
 import (
+	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/sortnet"
 )
@@ -132,6 +133,32 @@ func (s *SortingCoalescer) Drained() bool { return len(s.batch)+len(s.outQ) == 0
 
 // OutLen implements Pipeline.
 func (s *SortingCoalescer) OutLen() int { return len(s.outQ) }
+
+// NextWake implements Pipeline: a full batch sorts on the next tick, a
+// partial batch waits out its timeout, and an empty batch makes every
+// tick inert.
+func (s *SortingCoalescer) NextWake(now int64) int64 {
+	switch {
+	case len(s.batch) == 0:
+		return engine.Never
+	case len(s.batch) >= s.width:
+		return now + 1
+	default:
+		return s.batchStart + s.timeout
+	}
+}
+
+// SkipTo implements Pipeline. A partial batch may legally sit across the
+// skipped stretch — the per-cycle timeout check is pure until it fires —
+// but skipping past the flush point would lose the flush.
+func (s *SortingCoalescer) SkipTo(now int64) {
+	if len(s.batch) > 0 && now >= s.batchStart+s.timeout {
+		panic("coalesce: SkipTo past a sorting batch timeout")
+	}
+	if now > s.now {
+		s.now = now
+	}
+}
 
 // Comparisons returns the compare-exchange activations so far.
 func (s *SortingCoalescer) Comparisons() int64 { return s.net.Comparisons }
@@ -327,3 +354,28 @@ func (r *RowBufferCoalescer) Drained() bool {
 
 // OutLen implements Pipeline.
 func (r *RowBufferCoalescer) OutLen() int { return len(r.outQ) }
+
+// NextWake implements Pipeline: the only self-scheduled work is flushing
+// aggregation slots whose timeout expires.
+func (r *RowBufferCoalescer) NextWake(now int64) int64 {
+	wake := engine.Never
+	for i := range r.rows {
+		if !r.rows[i].valid {
+			continue
+		}
+		if t := r.rows[i].start + r.timeout; t < wake {
+			wake = t
+		}
+	}
+	return wake
+}
+
+// SkipTo implements Pipeline.
+func (r *RowBufferCoalescer) SkipTo(now int64) {
+	if w := r.NextWake(r.now); now >= w {
+		panic("coalesce: SkipTo past a row-slot timeout")
+	}
+	if now > r.now {
+		r.now = now
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/mem"
 )
 
@@ -183,6 +184,76 @@ func (c *PAC) Drained() bool {
 		}
 	}
 	return true
+}
+
+// backlogged reports whether any pipeline stage holds buffered work, in
+// which case the very next Tick is productive (it moves a datum, or at
+// least records a stall counter the cycle-accurate loop would have
+// recorded too).
+func (c *PAC) backlogged() bool {
+	return len(c.missQ)+len(c.wbQ)+len(c.stage2)+len(c.storeQ)+len(c.seqBuf)+len(c.bypassQ) > 0 ||
+		c.asm != nil
+}
+
+// NextWake implements the engine.Clocked contract for the coalescing
+// network: the earliest cycle at which Tick would do more than advance
+// the pipeline clock. Buffered work in any stage makes the next cycle
+// productive; an otherwise empty pipeline whose stage-1 streams are
+// still aggregating wakes at the earliest timeout flush or occupancy
+// sample, and a fully drained pipeline sleeps forever. Packets already
+// in the MAQ need no wake — draining them is the driver's dispatcher.
+func (c *PAC) NextWake(now int64) int64 {
+	if c.backlogged() {
+		return now + 1
+	}
+	wake := engine.Never
+	streams := false
+	for i := range c.streams {
+		s := &c.streams[i]
+		if !s.valid {
+			continue
+		}
+		streams = true
+		if t := s.first + c.p.Timeout; t < wake {
+			wake = t
+		}
+	}
+	if streams {
+		// Occupancy samples observe valid streams (Figure 11b), so the
+		// next sample point is a real event while any stream lives.
+		if t := c.lastSample + c.p.SampleInterval; t < wake {
+			wake = t
+		}
+	}
+	return wake
+}
+
+// SkipTo fast-forwards the pipeline clock to the given cycle, standing
+// in for the run of inert Ticks the cycle-accurate loop would execute
+// while the pipeline has nothing to move. The caller must only skip over
+// cycles NextWake reported as dead time; the one piece of time-keeping
+// those ticks perform — advancing the occupancy-sampling origin when no
+// stream is valid to observe — is reproduced in closed form.
+func (c *PAC) SkipTo(now int64) {
+	if now <= c.now {
+		return
+	}
+	if c.backlogged() {
+		panic("core: SkipTo over a backlogged pipeline")
+	}
+	// The input round-robin pointer flips every tick even when both
+	// queues are empty (nextInput toggles before popping), so a skipped
+	// stretch of odd length leaves it inverted.
+	if (now-c.now)&1 == 1 {
+		c.takeWB = !c.takeWB
+	}
+	// Empty samples record nothing but still reset the sampling origin;
+	// with valid streams NextWake bounds the skip before the next sample
+	// point, making this a no-op.
+	if s := c.p.SampleInterval; now-c.lastSample >= s {
+		c.lastSample += (now - c.lastSample) / s * s
+	}
+	c.now = now
 }
 
 // Tick advances the pipeline one cycle. Stages run back-to-front so a

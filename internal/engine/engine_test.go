@@ -1,0 +1,71 @@
+package engine
+
+import "testing"
+
+type fixed int64
+
+func (f fixed) NextWake(now int64) int64 { return int64(f) }
+
+func TestNextEventMinimum(t *testing.T) {
+	s := New(fixed(50), fixed(30), fixed(90))
+	if got := s.NextEvent(10); got != 30 {
+		t.Fatalf("NextEvent = %d, want 30", got)
+	}
+}
+
+func TestNextEventClampsBelow(t *testing.T) {
+	// A component reporting a wake at or before now must not move time
+	// backwards; the scheduler clamps to now+1.
+	s := New(fixed(5), fixed(90))
+	if got := s.NextEvent(10); got != 11 {
+		t.Fatalf("NextEvent = %d, want 11", got)
+	}
+}
+
+func TestNextEventAllAsleep(t *testing.T) {
+	s := New(fixed(Never), fixed(Never))
+	if got := s.NextEvent(10); got != Never {
+		t.Fatalf("NextEvent = %d, want Never", got)
+	}
+}
+
+func TestNextEventEmpty(t *testing.T) {
+	if got := New().NextEvent(3); got != Never {
+		t.Fatalf("NextEvent over no components = %d, want Never", got)
+	}
+}
+
+// counting records whether it was consulted, to verify the runnable
+// short-circuit that keeps expensive probes off the hot path.
+type counting struct {
+	wake  int64
+	calls int
+}
+
+func (c *counting) NextWake(now int64) int64 { c.calls++; return c.wake }
+
+func TestNextEventShortCircuitsOnRunnable(t *testing.T) {
+	expensive := &counting{wake: 100}
+	s := New(Func(func(now int64) int64 { return now + 1 }), expensive)
+	if got := s.NextEvent(10); got != 11 {
+		t.Fatalf("NextEvent = %d, want 11", got)
+	}
+	if expensive.calls != 0 {
+		t.Fatalf("expensive component consulted %d times after a runnable one", expensive.calls)
+	}
+}
+
+func TestRegisterAppends(t *testing.T) {
+	s := New(fixed(40))
+	s.Register(fixed(20))
+	if got := s.NextEvent(0); got != 20 {
+		t.Fatalf("NextEvent = %d, want 20", got)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	f := Func(func(now int64) int64 { return now + 7 })
+	if got := f.NextWake(3); got != 10 {
+		t.Fatalf("Func.NextWake = %d, want 10", got)
+	}
+}

@@ -86,9 +86,7 @@ func TestResultCancelledWhenLastWaiterLeaves(t *testing.T) {
 // waiters on one run, one disconnecting does not abort it — the other
 // still gets the real result.
 func TestResultSurvivesOneWaiterLeaving(t *testing.T) {
-	opts := testOptions()
-	opts.AccessesPerCore = 50_000
-	s := NewSession(opts)
+	s := NewSession(bigOptions())
 
 	ctx1, cancel1 := context.WithCancel(context.Background())
 	defer cancel1()

@@ -25,6 +25,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/stats"
 )
@@ -389,4 +390,16 @@ func (d *Device) NextCompletion() (int64, bool) {
 		return 0, false
 	}
 	return d.completed[0].at, true
+}
+
+// NextWake implements the engine.Clocked contract: the device is fully
+// event-timed already (Submit schedules the response at submit time), so
+// its only self-scheduled work is delivering the earliest pending
+// completion.
+func (d *Device) NextWake(now int64) int64 {
+	at, ok := d.NextCompletion()
+	if !ok {
+		return engine.Never
+	}
+	return at
 }

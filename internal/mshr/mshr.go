@@ -117,14 +117,15 @@ func (e *Entry) spanContains(base uint64, blocks int) bool {
 	return base >= e.base && base+uint64(blocks) <= e.base+uint64(e.blocks)
 }
 
-// TryMerge attempts to absorb a coalesced packet into an existing entry:
-// the packet must be fully contained in the entry's block span and match
-// its OP bit. On success the packet's parent requests become subentries
-// and NO new memory request is needed. The comparison count models the
-// parallel hardware comparators.
-func (f *File) TryMerge(pkt mem.Coalesced) (entry int, ok bool) {
+// lookupMerge finds the entry a packet would merge into without mutating
+// any state. It returns the candidate entry, the number of entry
+// comparisons the scan performed, and whether a span-matching entry had
+// to refuse the merge for a full subentry list — exactly the counter
+// deltas one TryMerge attempt records, so TryMerge and ProbeMerge cannot
+// drift apart.
+func (f *File) lookupMerge(pkt mem.Coalesced) (entry int, cmp, fails int64, ok bool) {
 	if pkt.Op == mem.OpAtomic || pkt.Op == mem.OpFence {
-		return 0, false // atomics are never merged
+		return 0, 0, 0, false // atomics are never merged
 	}
 	base := mem.BlockNumber(pkt.Addr)
 	blocks := pkt.Blocks()
@@ -133,24 +134,51 @@ func (f *File) TryMerge(pkt mem.Coalesced) (entry int, ok bool) {
 		if !e.valid {
 			continue
 		}
-		f.Comparisons++
+		cmp++
 		if e.op != pkt.Op || !e.spanContains(base, blocks) {
 			continue
 		}
 		if len(e.subs)+len(pkt.Parents) > f.cfg.MaxSubentries {
-			f.MergeFails++
-			return 0, false
+			return 0, cmp, 1, false
 		}
-		for _, r := range pkt.Parents {
-			e.subs = append(e.subs, Subentry{
-				Req:   r,
-				Index: uint8(mem.BlockNumber(r.Addr) - e.base),
-			})
-		}
-		f.Merges += int64(len(pkt.Parents))
-		return i, true
+		return i, cmp, 0, true
 	}
-	return 0, false
+	return 0, cmp, 0, false
+}
+
+// TryMerge attempts to absorb a coalesced packet into an existing entry:
+// the packet must be fully contained in the entry's block span and match
+// its OP bit. On success the packet's parent requests become subentries
+// and NO new memory request is needed. The comparison count models the
+// parallel hardware comparators.
+func (f *File) TryMerge(pkt mem.Coalesced) (entry int, ok bool) {
+	i, cmp, fails, ok := f.lookupMerge(pkt)
+	f.Comparisons += cmp
+	f.MergeFails += fails
+	if !ok {
+		return 0, false
+	}
+	e := &f.entries[i]
+	for _, r := range pkt.Parents {
+		e.subs = append(e.subs, Subentry{
+			Req:   r,
+			Index: uint8(mem.BlockNumber(r.Addr) - e.base),
+		})
+	}
+	f.Merges += int64(len(pkt.Parents))
+	return i, true
+}
+
+// ProbeMerge reports, without mutating file state or counters, whether
+// TryMerge would currently absorb the packet, together with the
+// comparison and merge-fail deltas one attempt would record. The event
+// kernel uses it both to decide whether a held-back packet can make
+// progress and to account, in closed form, for the retry the
+// cycle-accurate loop would perform on every skipped cycle while the
+// file is full.
+func (f *File) ProbeMerge(pkt mem.Coalesced) (ok bool, comparisons, mergeFails int64) {
+	_, cmp, fails, ok := f.lookupMerge(pkt)
+	return ok, cmp, fails
 }
 
 // Allocate claims a free MSHR for the packet, which the caller must then

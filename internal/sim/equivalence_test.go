@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/pacsim/pac/internal/cache"
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+// allModes is every coalescing configuration a run can use.
+var allModes = []coalesce.Mode{
+	coalesce.ModeNone,
+	coalesce.ModeDMC,
+	coalesce.ModePAC,
+	coalesce.ModeSortNet,
+	coalesce.ModeRowBuf,
+}
+
+// runBoth executes one configuration under both drivers and returns
+// (event, reference) results, failing the test on any run error.
+func runBoth(t *testing.T, cfg Config) (*Result, *Result) {
+	t.Helper()
+	cfg.ReferenceStepper = false
+	event := run(t, cfg)
+	cfg.ReferenceStepper = true
+	ref := run(t, cfg)
+	return event, ref
+}
+
+// assertEquivalent checks the event kernel's result is byte-identical to
+// the reference stepper's, modulo the SkippedCycles driver accounting.
+func assertEquivalent(t *testing.T, label string, event, ref *Result) {
+	t.Helper()
+	if ref.SkippedCycles != 0 {
+		t.Errorf("%s: reference stepper reports %d skipped cycles, want 0", label, ref.SkippedCycles)
+	}
+	ev := *event
+	ev.SkippedCycles = 0
+	if !reflect.DeepEqual(&ev, ref) {
+		t.Errorf("%s: event kernel diverges from reference stepper\nevent: %+v\nref:   %+v", label, ev, *ref)
+	}
+}
+
+// TestKernelEquivalence proves the tentpole contract: for every
+// benchmark × mode combination, the event kernel produces a Result
+// byte-identical to the retained cycle-by-cycle stepper — every counter,
+// histogram bucket and component snapshot, not just the headline cycle
+// count. It also checks the kernel actually skips cycles somewhere, so a
+// regression to pure ticking cannot pass silently.
+func TestKernelEquivalence(t *testing.T) {
+	var totalSkipped int64
+	for _, bench := range workload.Names() {
+		for _, mode := range allModes {
+			label := fmt.Sprintf("%s/%s", bench, mode)
+			t.Run(label, func(t *testing.T) {
+				cfg := smallConfig(bench, mode)
+				cfg.AccessesPerCore = 1_200
+				event, ref := runBoth(t, cfg)
+				assertEquivalent(t, label, event, ref)
+				totalSkipped += event.SkippedCycles
+			})
+		}
+	}
+	if totalSkipped == 0 {
+		t.Error("event kernel skipped no cycles across the whole matrix")
+	}
+}
+
+// TestKernelEquivalenceMultiprocess covers the configuration axes the
+// benchmark matrix above does not: co-running processes, virtual address
+// translation, the disabled network controller, and a disabled
+// prefetcher.
+func TestKernelEquivalenceMultiprocess(t *testing.T) {
+	cfg := smallConfig("GS", coalesce.ModePAC)
+	cfg.Procs = []ProcSpec{{Benchmark: "GS", Cores: 1}, {Benchmark: "STREAM", Cores: 1}}
+	cfg.AccessesPerCore = 1_200
+	cfg.Virtualize = true
+	event, ref := runBoth(t, cfg)
+	assertEquivalent(t, "multiprocess", event, ref)
+
+	cfg = smallConfig("BFS", coalesce.ModePAC)
+	cfg.AccessesPerCore = 1_200
+	cfg.DisableNetworkCtrl = true
+	cfg.Prefetch.Degree = -1
+	event, ref = runBoth(t, cfg)
+	assertEquivalent(t, "noctrl-noprefetch", event, ref)
+}
+
+// TestKernelSkipsIdleCycles pins down the kernel's reason to exist: on a
+// latency-bound run the skipped share of the clock must be substantial,
+// and Cycles must still match the reference exactly.
+func TestKernelSkipsIdleCycles(t *testing.T) {
+	cfg := smallConfig("STREAM", coalesce.ModePAC)
+	cfg.AccessesPerCore = 2_000
+	event, ref := runBoth(t, cfg)
+	assertEquivalent(t, "STREAM/PAC", event, ref)
+	if event.Cycles != ref.Cycles {
+		t.Fatalf("cycles diverge: event=%d ref=%d", event.Cycles, ref.Cycles)
+	}
+	if event.SkippedCycles <= 0 {
+		t.Fatalf("SkippedCycles = %d, want > 0", event.SkippedCycles)
+	}
+	if event.SkippedCycles >= event.Cycles {
+		t.Fatalf("SkippedCycles = %d >= Cycles = %d", event.SkippedCycles, event.Cycles)
+	}
+}
+
+// TestKernelEquivalenceTinyCaches stresses the stall paths (full MSHR
+// file, held-back packets, outstanding-load blocking) by shrinking every
+// buffer, so the closed-form stall emulation is exercised rather than
+// the happy path.
+func TestKernelEquivalenceTinyCaches(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := smallConfig("CG", mode)
+			cfg.AccessesPerCore = 1_500
+			cfg.MSHRs = 2
+			cfg.MaxSubentries = 2
+			cfg.MaxOutstandingLoads = 1
+			cfg.Hierarchy = cache.HierarchyConfig{
+				Cores: 2,
+				L1:    cache.Config{Size: 1 << 10, Ways: 2},
+				LLC:   cache.Config{Size: 8 << 10, Ways: 4},
+			}
+			event, ref := runBoth(t, cfg)
+			assertEquivalent(t, mode.String(), event, ref)
+		})
+	}
+}

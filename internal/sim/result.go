@@ -41,6 +41,11 @@ type Result struct {
 	Mode coalesce.Mode
 	// Cycles is the total runtime in core cycles.
 	Cycles int64
+	// SkippedCycles is the subset of Cycles the event kernel advanced
+	// over without stepping the machine (0 under the reference stepper).
+	// It is pure driver accounting: every other field is identical
+	// between the two drivers.
+	SkippedCycles int64
 	// RawRequests counts LLC-level access requests offered to the
 	// coalescing layer (misses + write-backs + atomics).
 	RawRequests int64

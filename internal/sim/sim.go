@@ -10,12 +10,14 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/pacsim/pac/internal/cache"
 	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/core"
+	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/hmc"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/mshr"
@@ -111,6 +113,11 @@ type Config struct {
 	// MaxCycles aborts a wedged simulation; 0 means a generous bound
 	// derived from the trace length.
 	MaxCycles int64
+	// ReferenceStepper forces the retained cycle-by-cycle driver instead
+	// of the event kernel. Results are byte-identical either way (the
+	// equivalence suite enforces this); the reference exists as the
+	// differential-testing oracle and for kernel benchmarking.
+	ReferenceStepper bool
 }
 
 // DefaultConfig returns the paper's Table 1 machine running one benchmark
@@ -318,7 +325,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 func (r *Runner) Run() (*Result, error) { return r.RunContext(context.Background()) }
 
 // cancelCheckMask throttles context polling: the context is consulted
-// once every 4096 simulated cycles, so cancellation lands within
+// once every 4096 driver iterations, so cancellation lands within
 // microseconds of wall time without touching the hot loop's cost.
 const cancelCheckMask = 1<<12 - 1
 
@@ -326,39 +333,213 @@ const cancelCheckMask = 1<<12 - 1
 // (within a few thousand simulated cycles) when ctx is cancelled. The
 // returned error wraps ctx.Err() on cancellation, so callers can test it
 // with errors.Is. Telemetry hooks, when configured, see one started
-// event and exactly one completed or cancelled event per call.
+// event and exactly one terminal event — completed, cancelled, or
+// failed — per call.
+//
+// The machine is driven by the event kernel by default: the scheduler
+// advances the clock straight to the next cycle at which any component
+// can make progress, so the long stretches where every core waits on HMC
+// latency cost nothing. Results are byte-identical to the retained
+// cycle-by-cycle stepper (Config.ReferenceStepper), which the
+// equivalence suite proves for every benchmark × mode combination.
 func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	hooks := r.cfg.Hooks
 	bench := r.res.Name()
 	mode := r.cfg.Mode.String()
 	hooks.Emit(telemetry.Event{Kind: telemetry.KindSimStarted, Bench: bench, Mode: mode})
 	start := time.Now()
+	var err error
+	if r.cfg.ReferenceStepper {
+		err = r.runReference(ctx)
+	} else {
+		err = r.runEvents(ctx)
+	}
+	if err != nil {
+		kind := telemetry.KindSimFailed
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			kind = telemetry.KindSimCancelled
+		}
+		hooks.Emit(telemetry.Event{Kind: kind, Bench: bench, Mode: mode})
+		return nil, err
+	}
+	r.collect()
+	hooks.Emit(telemetry.Event{
+		Kind:    telemetry.KindSimCompleted,
+		Bench:   bench,
+		Mode:    mode,
+		Wall:    time.Since(start),
+		Cycles:  r.res.Cycles,
+		Skipped: r.res.SkippedCycles,
+	})
+	r.hier.Record(hooks, bench)
+	return &r.res, nil
+}
+
+// errWedged builds the MaxCycles abort error with enough machine state to
+// diagnose the wedge.
+func (r *Runner) errWedged() error {
+	return fmt.Errorf("sim: exceeded MaxCycles=%d (packets=%d, free MSHRs=%d, pipeline drained=%v)",
+		r.cfg.MaxCycles, r.res.MemPackets, r.file.Available(), r.pipe.Drained())
+}
+
+// runReference is the retained cycle-by-cycle driver: every simulated
+// cycle steps every component. It exists as the differential-testing
+// oracle for the event kernel (and for kernel benchmarking); both
+// drivers produce byte-identical Results.
+func (r *Runner) runReference(ctx context.Context) error {
 	done := ctx.Done()
 	for !r.finished() {
 		if done != nil && r.now&cancelCheckMask == 0 {
 			select {
 			case <-done:
-				hooks.Emit(telemetry.Event{Kind: telemetry.KindSimCancelled, Bench: bench, Mode: mode})
-				return nil, fmt.Errorf("sim: cancelled after %d cycles: %w", r.now, ctx.Err())
+				return fmt.Errorf("sim: cancelled after %d cycles: %w", r.now, ctx.Err())
 			default:
 			}
 		}
 		if r.now >= r.cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: exceeded MaxCycles=%d (packets=%d, free MSHRs=%d, pipeline drained=%v)",
-				r.cfg.MaxCycles, r.res.MemPackets, r.file.Available(), r.pipe.Drained())
+			return r.errWedged()
 		}
 		r.step()
 	}
-	r.collect()
-	hooks.Emit(telemetry.Event{
-		Kind:   telemetry.KindSimCompleted,
-		Bench:  bench,
-		Mode:   mode,
-		Wall:   time.Since(start),
-		Cycles: r.res.Cycles,
-	})
-	r.hier.Record(hooks, bench)
-	return &r.res, nil
+	return nil
+}
+
+// runEvents is the discrete-event driver: a scheduler over every
+// component's NextWake advances the clock directly to the next cycle
+// where anything can happen, and the skipped stretch is accounted for in
+// closed form (skipTo). Cheap wake functions are registered first — the
+// scheduler short-circuits as soon as one reports runnable, keeping the
+// dispatcher's merge dry-run off the hot path.
+func (r *Runner) runEvents(ctx context.Context) error {
+	done := ctx.Done()
+	sched := engine.New(
+		engine.Func(r.coresWake),
+		r.pipe,
+		r.dev,
+		r.pf,
+		engine.Func(r.dispatchWake),
+	)
+	for iter := int64(0); !r.finished(); iter++ {
+		if done != nil && iter&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("sim: cancelled after %d cycles: %w", r.now, ctx.Err())
+			default:
+			}
+		}
+		if r.now >= r.cfg.MaxCycles {
+			return r.errWedged()
+		}
+		next := sched.NextEvent(r.now)
+		if next > r.cfg.MaxCycles {
+			// Nothing can happen before the wedge guard fires (or at
+			// all, when next is engine.Never); let the loop run its
+			// cycle at MaxCycles exactly as the reference does.
+			next = r.cfg.MaxCycles
+		}
+		if next > r.now+1 {
+			r.skipTo(next - 1)
+		}
+		r.step()
+	}
+	return nil
+}
+
+// coresWake reports the earliest cycle at which any core can act. Cores
+// with parked or stalled work that is retried every cycle (accumulating
+// stall counters or pipeline interactions) pin the wake to now+1; a core
+// blocked on its outstanding-load budget sleeps — only a device
+// completion can free a slot, and the device's own wake covers that
+// cycle.
+func (r *Runner) coresWake(now int64) int64 {
+	wake := engine.Never
+	for i := range r.cores {
+		c := &r.cores[i]
+		switch {
+		case len(c.pendingOut) > 0:
+			// Parked LLC outputs are offered to the pipeline every
+			// cycle.
+			return now + 1
+		case c.pending != nil:
+			if c.pending.Op == mem.OpFence ||
+				len(c.outstanding) < r.cfg.MaxOutstandingLoads {
+				// Fences retry against the pipeline each cycle; a
+				// stalled access with budget again can issue now.
+				return now + 1
+			}
+			// Blocked on the outstanding-load budget: sleeps until a
+			// completion (the device wake) releases a fill.
+		case c.done:
+			// Finished trace; nothing left to issue.
+		case c.issued >= r.cfg.AccessesPerCore:
+			// Will mark itself done on the next step.
+			return now + 1
+		case c.nextIssue > now+1:
+			// Pacing: ALU work between memory accesses.
+			if c.nextIssue < wake {
+				wake = c.nextIssue
+			}
+		default:
+			return now + 1
+		}
+	}
+	return wake
+}
+
+// dispatchWake reports when the MSHR-intake stage can act: whenever the
+// coalescer output holds a packet and either a free MSHR or a viable
+// merge target exists. A held-back packet facing a full file with no
+// merge target sleeps — only a completion can change that — and the
+// per-cycle comparator retries the reference loop would perform are
+// reconstructed by skipTo.
+func (r *Runner) dispatchWake(now int64) int64 {
+	if r.pipe.OutLen() == 0 {
+		return engine.Never
+	}
+	if !r.file.Full() {
+		return now + 1
+	}
+	if r.cfg.Mode.MergesInMSHR() {
+		if pkt, ok := r.pipe.Pop(); ok {
+			mergeable, _, _ := r.file.ProbeMerge(pkt)
+			r.pipe.PushFront(pkt)
+			if mergeable {
+				return now + 1
+			}
+		}
+	}
+	return engine.Never
+}
+
+// skipTo advances the clock to cycle t without stepping the machine,
+// applying the per-cycle bookkeeping the reference stepper would have
+// recorded across the skipped stretch: each core stalled on its
+// outstanding-load budget retries (and fails) its access once per cycle,
+// and a packet held back at the head of a full MSHR file re-runs its
+// merge comparison once per cycle. The scheduler guarantees no other
+// state can change in (r.now, t].
+func (r *Runner) skipTo(t int64) {
+	k := t - r.now
+	if k <= 0 {
+		return
+	}
+	for i := range r.cores {
+		c := &r.cores[i]
+		if c.pending != nil && c.pending.Op != mem.OpFence {
+			r.res.CoreStallCycles += k
+		}
+	}
+	if r.pipe.OutLen() > 0 && r.cfg.Mode.MergesInMSHR() {
+		if pkt, ok := r.pipe.Pop(); ok {
+			_, cmp, fails := r.file.ProbeMerge(pkt)
+			r.pipe.PushFront(pkt)
+			r.file.Comparisons += k * cmp
+			r.file.MergeFails += k * fails
+		}
+	}
+	r.pipe.SkipTo(t)
+	r.res.SkippedCycles += k
+	r.now = t
 }
 
 // finished reports whether every core completed its trace and the memory
@@ -416,7 +597,8 @@ func (r *Runner) dispatch() {
 	}
 	pkt, _ := r.pipe.Pop()
 	if !r.admit(pkt) {
-		r.holdback(pkt) // MSHRs full: keep the packet at the head
+		// MSHRs full: hold the packet back at the head so order is kept.
+		r.pipe.PushFront(pkt)
 	}
 }
 
@@ -434,16 +616,6 @@ func (r *Runner) admit(pkt mem.Coalesced) bool {
 	r.res.MemPackets++
 	r.dev.Submit(pkt, r.now)
 	return true
-}
-
-// holdback re-queues a packet that could not be admitted, preserving
-// order at the head of the output queue.
-func (r *Runner) holdback(pkt mem.Coalesced) {
-	p, ok := r.pipe.(interface{ PushFront(mem.Coalesced) })
-	if !ok {
-		panic("sim: pipeline cannot hold back packets")
-	}
-	p.PushFront(pkt)
 }
 
 // completeRaw finishes one raw LLC request: loads and atomics release

@@ -17,6 +17,11 @@ const (
 	// KindSimCancelled fires when a simulation aborts on context
 	// cancellation (its last waiter disconnected or a timeout hit).
 	KindSimCancelled
+	// KindSimFailed fires when a simulation aborts on an internal error
+	// rather than cancellation — today that is the MaxCycles wedge
+	// guard. Together with the two kinds above it completes the
+	// "exactly one terminal event per run" contract of sim.RunContext.
+	KindSimFailed
 	// KindMemoHit fires when a session recall is served from the memo.
 	KindMemoHit
 	// KindMemoMiss fires when a session recall starts a fresh run.
@@ -36,6 +41,8 @@ func (k Kind) String() string {
 		return "sim-completed"
 	case KindSimCancelled:
 		return "sim-cancelled"
+	case KindSimFailed:
+		return "sim-failed"
 	case KindMemoHit:
 		return "memo-hit"
 	case KindMemoMiss:
@@ -62,6 +69,9 @@ type Event struct {
 	Wall time.Duration
 	// Cycles is the simulated cycle count of a completed simulation.
 	Cycles int64
+	// Skipped is the number of those cycles the event kernel advanced
+	// over without stepping the machine (0 under the reference stepper).
+	Skipped int64
 	// Depth is the queue depth of a KindQueueDepth event.
 	Depth int
 	// Accesses and LLCMisses are the hierarchy counters of a
@@ -111,9 +121,11 @@ const (
 	MetricSimsStarted    = "pac_sims_started_total"
 	MetricSimsCompleted  = "pac_sims_completed_total"
 	MetricSimsCancelled  = "pac_sims_cancelled_total"
+	MetricSimsFailed     = "pac_sims_failed_total"
 	MetricSimWallSeconds = "pac_sim_wall_seconds"
 	MetricSimWallByBench = "pac_sim_wall_seconds_total"
 	MetricSimCycles      = "pac_sim_cycles_total"
+	MetricSimSkipped     = "pac_sim_cycles_skipped_total"
 	MetricMemoHits       = "pac_session_memo_hits_total"
 	MetricMemoMisses     = "pac_session_memo_misses_total"
 	MetricQueueDepth     = "pac_jobs_queue_depth"
@@ -138,8 +150,12 @@ func InstrumentedHooks(r *Registry) *Hooks {
 			r.Counter(MetricSimWallByBench, "Per-benchmark simulation wall time.",
 				"bench", ev.Bench).Add(ev.Wall.Seconds())
 			r.Counter(MetricSimCycles, "Simulated cycles.").Add(float64(ev.Cycles))
+			r.Counter(MetricSimSkipped, "Simulated cycles skipped by the event kernel.").
+				Add(float64(ev.Skipped))
 		case KindSimCancelled:
 			r.Counter(MetricSimsCancelled, "Simulations cancelled mid-run.").Inc()
+		case KindSimFailed:
+			r.Counter(MetricSimsFailed, "Simulations aborted on an internal error.").Inc()
 		case KindMemoHit:
 			r.Counter(MetricMemoHits, "Session memo lookups served from cache.").Inc()
 		case KindMemoMiss:

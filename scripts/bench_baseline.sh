@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench_baseline.sh — record the event-kernel benchmark baseline.
+#
+# Runs the figure benches and the kernel driver comparison, then distils
+# the numbers into BENCH_kernel.json: per-bench ns/op, the kernel bench's
+# skipped-cycle percentages, and the per-mode event/reference speedups
+# with their geomean. CI and future optimisation PRs diff against this
+# file.
+#
+# Usage: scripts/bench_baseline.sh [benchtime]
+#   benchtime: go test -benchtime value (default 2x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkTab1|BenchmarkKernel' \
+	-benchtime "$benchtime" . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	nsop[name] = $3
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "skipped_%") skipped[name] = $i
+	}
+	order[n++] = name
+}
+END {
+	print  "{"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print  "  \"benches\": {"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %s", name, nsop[name]
+		if (name in skipped) printf ", \"skipped_pct\": %s", skipped[name]
+		printf "}%s\n", (i < n - 1) ? "," : ""
+	}
+	print  "  },"
+	print  "  \"kernel_speedup\": {"
+	nm = 0
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (name ~ /^BenchmarkKernel\// && name ~ /\/event$/) {
+			mode = name
+			sub(/^BenchmarkKernel\//, "", mode)
+			sub(/\/event$/, "", mode)
+			ref = "BenchmarkKernel/" mode "/reference"
+			if (ref in nsop && nsop[name] > 0) {
+				modes[nm] = mode
+				speed[nm++] = nsop[ref] / nsop[name]
+			}
+		}
+	}
+	geo = 0
+	for (i = 0; i < nm; i++) {
+		printf "    \"%s\": %.3f,\n", modes[i], speed[i]
+		geo += log(speed[i])
+	}
+	if (nm > 0) geo = exp(geo / nm)
+	printf "    \"geomean\": %.3f\n", geo
+	print  "  }"
+	print  "}"
+}' "$raw" >BENCH_kernel.json
+
+echo "wrote BENCH_kernel.json"
