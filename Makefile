@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race smoke serve smoke-serve vet \
-        fmt bench bench-kernel figures figures-quick examples fuzz clean
+.PHONY: all build test test-short test-race smoke serve smoke-serve chaos \
+        vet fmt bench bench-kernel figures figures-quick examples fuzz clean
 
 all: vet test build
 
@@ -37,6 +37,13 @@ serve:
 # memo-hit telemetry, and verify a clean SIGTERM drain.
 smoke-serve:
 	scripts/smoke_serve.sh
+
+# Chaos smoke under the race detector: the fault-injection subsystem,
+# the sim-level fault/equivalence suite, and the daemon resilience tests
+# (watchdog kills, retry with backoff, panic recovery).
+chaos:
+	$(GO) test -race ./internal/fault/
+	$(GO) test -race -run 'Fault|Chaos|Watchdog|Retr|Panic|Poison' ./internal/sim/ ./internal/server/
 
 vet:
 	$(GO) vet ./...

@@ -48,16 +48,42 @@ func main() {
 		maxSessions  = flag.Int("max-sessions", 8, "LRU cap on distinct-option result-cache sessions")
 		reqTimeout   = flag.Duration("request-timeout", 60*time.Second, "cap on synchronous ?wait= windows")
 		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "abort jobs running longer than this")
+		jobDeadline  = flag.Duration("job-deadline", 0, "per-attempt watchdog deadline; overrides -job-timeout when set")
+		maxRetries   = flag.Int("max-retries", 2, "retries per job after a watchdog kill, panic, or internal error (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		// Fault-plan flags of the default session; all zero (the default)
+		// disables injection. Per-request plans arrive through the
+		// POST /v1/simulate fault* fields instead.
+		faultCRC           = flag.Float64("fault-crc-rate", 0, "per-packet link CRC error probability [0,1]")
+		faultPoison        = flag.Float64("fault-poison-rate", 0, "per-packet poisoned-response probability [0,1]")
+		faultStallInterval = flag.Int64("fault-stall-interval", 0, "mean cycles between vault ECC-scrub stalls (0 disables)")
+		faultStallCycles   = flag.Int64("fault-stall-cycles", 0, "cycles a vault stays frozen per stall (0 = default 200)")
+		faultSeed          = flag.Uint64("fault-seed", 0, "fault-plan seed, mixed with the workload seed")
 	)
 	flag.Parse()
+
+	if *jobDeadline > 0 {
+		*jobTimeout = *jobDeadline
+	}
+	faults := pac.FaultConfig{
+		LinkCRCRate:        *faultCRC,
+		PoisonRate:         *faultPoison,
+		VaultStallInterval: *faultStallInterval,
+		VaultStallCycles:   *faultStallCycles,
+		Seed:               *faultSeed,
+	}
+	if err := faults.Validate(); err != nil {
+		fail(err)
+	}
 
 	opts := pac.ExperimentOptions{
 		Cores:           *cores,
 		AccessesPerCore: *accesses,
 		Scale:           *scale,
 		Seed:            *seed,
+		Faults:          faults,
 	}
 	if *quick {
 		opts.Cores = 2
@@ -75,6 +101,7 @@ func main() {
 		MaxSessions:    *maxSessions,
 		RequestTimeout: *reqTimeout,
 		JobTimeout:     *jobTimeout,
+		MaxRetries:     *maxRetries,
 		EnablePprof:    *pprofOn,
 	})
 
@@ -82,6 +109,7 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

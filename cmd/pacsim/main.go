@@ -31,6 +31,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -54,8 +55,27 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON: full three-mode results with -bench, one {id, tables} object per experiment with -experiment")
 		outDir     = flag.String("out", "", "also write each experiment table to DIR/<id>.txt and .csv")
 		verbose    = flag.Bool("v", false, "print per-simulation progress")
+
+		// Deterministic fault-injection plan; all zero (the default)
+		// disables injection.
+		faultCRC           = flag.Float64("fault-crc-rate", 0, "per-packet link CRC error probability [0,1]")
+		faultPoison        = flag.Float64("fault-poison-rate", 0, "per-packet poisoned-response probability [0,1]")
+		faultStallInterval = flag.Int64("fault-stall-interval", 0, "mean cycles between vault ECC-scrub stalls (0 disables)")
+		faultStallCycles   = flag.Int64("fault-stall-cycles", 0, "cycles a vault stays frozen per stall (0 = default 200)")
+		faultSeed          = flag.Uint64("fault-seed", 0, "fault-plan seed, mixed with the workload seed")
 	)
 	flag.Parse()
+
+	faults := pac.FaultConfig{
+		LinkCRCRate:        *faultCRC,
+		PoisonRate:         *faultPoison,
+		VaultStallInterval: *faultStallInterval,
+		VaultStallCycles:   *faultStallCycles,
+		Seed:               *faultSeed,
+	}
+	if err := faults.Validate(); err != nil {
+		fail(err)
+	}
 
 	if *list {
 		fmt.Println("Experiments (paper artefact -> ID):")
@@ -70,6 +90,7 @@ func main() {
 		AccessesPerCore: *accesses,
 		Scale:           *scale,
 		Seed:            *seed,
+		Faults:          faults,
 	}
 	if *config != "" {
 		fileOpts, err := loadConfig(*config)
@@ -115,7 +136,25 @@ func main() {
 	if *verbose {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+
+	// simFailed latches when any simulation ends with a sim-failed
+	// terminal event (an internal error such as the MaxCycles wedge
+	// guard, as opposed to cancellation); the event itself is surfaced on
+	// stderr and the process exits non-zero even if a renderer swallowed
+	// the error.
+	var simFailed atomic.Bool
+	hooks := &pac.TelemetryHooks{Observer: func(ev pac.TelemetryEvent) {
+		if ev.Kind != pac.TelemetryKindSimFailed {
+			return
+		}
+		simFailed.Store(true)
+		fmt.Fprintf(os.Stderr,
+			"pacsim: terminal event %s: bench=%s mode=%s cycles=%d faults(crc=%d stall=%d poison=%d)\n",
+			ev.Kind, ev.Bench, ev.Mode, ev.Cycles, ev.FaultsCRC, ev.FaultsStall, ev.FaultsPoison)
+	}}
+
 	session := pac.NewExperimentSession(opts, progress)
+	session.Hooks = hooks
 
 	// Ctrl-C / SIGTERM cancels the in-flight simulations instead of
 	// killing the process mid-write.
@@ -136,7 +175,7 @@ func main() {
 
 	switch {
 	case *bench != "":
-		if err := runBench(*bench, opts, *jsonOut); err != nil {
+		if err := runBench(*bench, opts, hooks, *jsonOut); err != nil {
 			fail(err)
 		}
 	case *experiment == "all":
@@ -154,6 +193,9 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if simFailed.Load() {
+		fail(fmt.Errorf("one or more simulations ended in a sim-failed terminal event"))
 	}
 }
 
@@ -280,12 +322,14 @@ func chartColumn(t *pac.Table) int {
 	return len(headers) - 1
 }
 
-func runBench(name string, opts pac.ExperimentOptions, jsonOut bool) error {
+func runBench(name string, opts pac.ExperimentOptions, hooks *pac.TelemetryHooks, jsonOut bool) error {
 	cfg := pac.DefaultSimConfig(name, pac.ModePAC)
 	cfg.Procs = []pac.ProcSpec{{Benchmark: name, Cores: opts.Cores}}
 	cfg.AccessesPerCore = opts.AccessesPerCore
 	cfg.Scale = opts.Scale
 	cfg.Seed = opts.Seed
+	cfg.Faults = opts.Faults
+	cfg.Hooks = hooks
 	cmp, err := pac.CompareModes(cfg)
 	if err != nil {
 		return err

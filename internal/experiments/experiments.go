@@ -14,6 +14,7 @@ package experiments
 import (
 	"sort"
 
+	"github.com/pacsim/pac/internal/fault"
 	"github.com/pacsim/pac/internal/report"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	// results — parallel and sequential sessions render byte-identical
 	// tables — only how many simulations run concurrently.
 	Parallel int
+	// Faults is the deterministic fault-injection plan applied to every
+	// default-variant simulation of the session. The zero value (the
+	// default) disables injection, which keeps the paper artefacts
+	// byte-identical to a fault-free build; the faultsweep experiment
+	// uses its own preset plans regardless of this field.
+	Faults fault.Config
 }
 
 // DefaultOptions reproduces the paper's Table 1 configuration.
@@ -75,7 +82,37 @@ const (
 	// varMulti co-runs the benchmark with a partner process on half
 	// the cores each (Figure 6b).
 	varMulti variant = "multi"
+	// varFaultLo and varFaultHi run the benchmark under the faultsweep
+	// experiment's preset fault plans (a lightly and a heavily degraded
+	// link); the plans live in faultPlanOf so variant stays a pure key.
+	varFaultLo variant = "faultlo"
+	varFaultHi variant = "faulthi"
 )
+
+// faultPlanOf returns the preset plan a fault variant runs under; the
+// zero Config (no injection) for every other variant.
+func faultPlanOf(v variant) fault.Config {
+	switch v {
+	case varFaultLo:
+		return fault.Config{
+			LinkCRCRate:        0.02,
+			PoisonRate:         0.005,
+			VaultStallInterval: 20_000,
+			VaultStallCycles:   200,
+			Seed:               1,
+		}
+	case varFaultHi:
+		return fault.Config{
+			LinkCRCRate:        0.15,
+			PoisonRate:         0.05,
+			VaultStallInterval: 4_000,
+			VaultStallCycles:   400,
+			Seed:               1,
+		}
+	default:
+		return fault.Config{}
+	}
+}
 
 // Experiment is one regenerable paper artefact.
 type Experiment struct {

@@ -19,14 +19,14 @@ func testOptions() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(all))
 	}
 	want := []string{
 		"fig1", "fig2", "tab1", "fig6a", "fig6b", "fig6c", "fig7",
 		"fig8", "fig9", "fig10a", "fig10b", "fig10c",
 		"fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig12c",
-		"fig13", "fig14", "fig15", "baselines",
+		"fig13", "fig14", "fig15", "baselines", "faultsweep",
 	}
 	for i, e := range all {
 		if e.ID != want[i] {

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/report"
+)
+
+// faultBenches is the faultsweep working set: the two most
+// coalescing-sensitive benchmarks plus a streaming and a graph-analytics
+// pattern, enough to show how injected link faults interact with each
+// access structure without simulating the whole suite three times.
+var faultBenches = []string{"GS", "BFS", "STREAM", "SSCA2"}
+
+func init() {
+	register(Experiment{
+		ID:       "faultsweep",
+		Artefact: "extra (resilience)",
+		Desc:     "PAC under deterministic fault injection: clean link vs lightly and heavily degraded link",
+		Run:      runFaultSweep,
+		Needs: func() []need {
+			var out []need
+			for _, b := range faultBenches {
+				for _, v := range []variant{varDefault, varFaultLo, varFaultHi} {
+					out = append(out, simNeed(b, coalesce.ModePAC, v))
+				}
+			}
+			return out
+		},
+	})
+}
+
+// runFaultSweep measures PAC's behaviour on a degraded device: the same
+// trace under no injection, a lightly degraded link (2% CRC replay,
+// 0.5% poison, rare vault scrubs) and a heavily degraded one (15% CRC,
+// 5% poison, frequent scrubs). Coalescing efficiency must hold — faults
+// perturb timing, not the coalescer — while runtime and load latency
+// absorb the replay and re-issue cost.
+func runFaultSweep(s *Session) ([]*report.Table, error) {
+	t := report.NewTable("Extra: PAC resilience under deterministic fault injection (ModePAC)",
+		"benchmark", "plan", "CRC errs", "stalls", "poisoned", "reissues",
+		"runtime us", "avg load ns", "coalesce %")
+	t.Note = "fault plans are seeded and deterministic: identical seeds replay the\n" +
+		"identical fault history, so these rows are as reproducible as the clean ones"
+	plans := []struct {
+		v    variant
+		name string
+	}{
+		{varDefault, "clean"},
+		{varFaultLo, "degraded-lo"},
+		{varFaultHi, "degraded-hi"},
+	}
+	for _, b := range faultBenches {
+		for _, p := range plans {
+			res, err := s.result(b, coalesce.ModePAC, p.v)
+			if err != nil {
+				return nil, err
+			}
+			f := res.Faults
+			t.AddRow(b, p.name, f.LinkCRCErrors, f.VaultStalls, f.PoisonedResponses,
+				res.MSHR.Reissues, res.RuntimeNS()/1e3, res.AvgLoadLatencyNS(),
+				res.CoalescingEfficiency())
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -187,7 +187,11 @@ func (s *Session) resultCtx(ctx context.Context, bench string, mode coalesce.Mod
 			entry := e
 			go func() {
 				entry.val, entry.err = s.runSim(runCtx, k)
-				if cancelled(entry.err) {
+				if entry.err != nil {
+					// No failure stays memoised: cancellations because a
+					// fresh caller must rerun, and hard failures so the
+					// daemon's job-retry layer gets a real second attempt
+					// instead of the cached error.
 					s.evictSim(k, entry)
 				}
 				close(entry.done)
@@ -278,7 +282,9 @@ func (s *Session) traceCtx(ctx context.Context, bench string) ([]mem.Request, er
 			entry := e
 			go func() {
 				entry.val, entry.err = s.runTrace(runCtx, bench)
-				if cancelled(entry.err) {
+				if entry.err != nil {
+					// Mirror resultCtx: failed captures leave the memo so a
+					// retry re-runs them.
 					s.mu.Lock()
 					if s.traces[bench] == entry {
 						delete(s.traces, bench)
@@ -360,6 +366,12 @@ func (s *Session) simConfig(bench string, mode coalesce.Mode, v variant) sim.Con
 	if v == varNoCtrl {
 		cfg.DisableNetworkCtrl = true
 	}
+	switch v {
+	case varFaultLo, varFaultHi:
+		cfg.Faults = faultPlanOf(v)
+	default:
+		cfg.Faults = s.opts.Faults
+	}
 	if s.opts.L1Bytes > 0 || s.opts.LLCBytes > 0 {
 		h := cache.DefaultHierarchyConfig(totalCores(cfg.Procs))
 		if s.opts.L1Bytes > 0 {
@@ -424,9 +436,10 @@ func allTraces() []need {
 // simulations (each aborts once its last waiter disconnects); Precompute
 // then returns the context error. workers <= 0 falls back to
 // Options.Parallel, and to runtime.GOMAXPROCS(0) when that is unset too.
-// Errors are memoised like results; Precompute returns one of the errors
-// encountered (callers re-running the failing experiment get the same
-// error from the memo).
+// Failed simulations are reported but never stay memoised — Precompute
+// returns the first error encountered, and a caller re-running the
+// failing experiment (the daemon's job-retry path) executes the failed
+// work fresh.
 func (s *Session) Precompute(ctx context.Context, workers int, ids ...string) error {
 	exps := All()
 	if len(ids) > 0 {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"github.com/pacsim/pac/internal/engine"
+	"github.com/pacsim/pac/internal/fault"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/stats"
 )
@@ -199,6 +200,11 @@ type Device struct {
 
 	completed pendingHeap
 
+	// faults, when installed, injects transaction-layer faults: CRC
+	// replays on the request link, poisoned responses, and (via
+	// FreezeVault) ECC-scrub vault stalls. nil models a perfect device.
+	faults *fault.Injector
+
 	// Stats holds the accumulated device measurements.
 	Stats Stats
 }
@@ -225,6 +231,24 @@ func New(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// InstallFaults attaches a fault injector; every subsequent Submit
+// consults it for per-packet link CRC and poison draws.
+func (d *Device) InstallFaults(inj *fault.Injector) { d.faults = inj }
+
+// FreezeVault holds a vault's controller busy until the given cycle —
+// the device-side effect of an ECC-scrub stall window. Requests already
+// scheduled are unaffected (their timing was fixed at submit); requests
+// arriving during the window queue behind it like any other controller
+// occupancy.
+func (d *Device) FreezeVault(vault int, until int64) {
+	if vault < 0 || vault >= len(d.vaultFree) {
+		panic(fmt.Sprintf("hmc: freeze of vault %d outside [0,%d)", vault, len(d.vaultFree)))
+	}
+	if until > d.vaultFree[vault] {
+		d.vaultFree[vault] = until
+	}
+}
 
 // vaultOf returns the vault index for an address: rows are interleaved
 // across vaults first, then banks (the HMC default "low interleave" that
@@ -290,11 +314,22 @@ func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
 
 	reqFlits, respFlits := flitsFor(pkt)
 
-	// 1. Link: round-robin dispatch, serialize the request packet.
+	// Fault draws happen once per submission, in submission order, so
+	// the plan is identical under both simulation drivers.
+	var crcReplay int64
+	var poison bool
+	if d.faults != nil {
+		crcReplay, poison = d.faults.PacketFaults(reqFlits, cfg.LinkFlitCycles)
+	}
+
+	// 1. Link: round-robin dispatch, serialize the request packet. A
+	// CRC failure replays the packet from the link's retry buffer,
+	// occupying the request lane for the replay on top of the original
+	// serialization.
 	link := d.nextLink
 	d.nextLink = (d.nextLink + 1) % cfg.Links
 	start := max64(now, d.linkTxFree[link])
-	linkDone := start + reqFlits*cfg.LinkFlitCycles
+	linkDone := start + reqFlits*cfg.LinkFlitCycles + crcReplay
 	d.linkTxFree[link] = linkDone
 
 	// 2. Crossbar: local when the link serves the vault's quadrant.
@@ -364,8 +399,13 @@ func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
 
 	s.Latency.Add(float64(done - now))
 	heap.Push(&d.completed, pending{
-		resp: mem.Response{ID: pkt.ID, Done: done, BankConflict: bankReady > ctrlDone},
-		at:   done,
+		resp: mem.Response{
+			ID:           pkt.ID,
+			Done:         done,
+			BankConflict: bankReady > ctrlDone,
+			Poisoned:     poison,
+		},
+		at: done,
 	})
 	return done
 }

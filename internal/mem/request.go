@@ -137,4 +137,8 @@ type Response struct {
 	// BankConflict reports whether the access found its target bank
 	// busy and had to queue (used for Figure 6c statistics).
 	BankConflict bool
+	// Poisoned marks a response whose data failed end-to-end
+	// protection in the device (the HMC poison bit). The requester
+	// must discard the data and re-issue the request.
+	Poisoned bool
 }

@@ -35,7 +35,10 @@ type Entry struct {
 	// pktID is the coalesced packet ID dispatched for this entry, used
 	// to route the memory response back.
 	pktID uint64
-	subs  []Subentry
+	// reissues counts how many times the entry's request was re-sent
+	// after a poisoned response.
+	reissues int
+	subs     []Subentry
 }
 
 // Valid reports whether the entry holds an outstanding request.
@@ -52,6 +55,10 @@ func (e *Entry) Op() mem.Op { return e.op }
 
 // PacketID returns the dispatched packet's ID.
 func (e *Entry) PacketID() uint64 { return e.pktID }
+
+// ReissueCount returns how many times the entry re-issued its request
+// after poisoned responses.
+func (e *Entry) ReissueCount() int { return e.reissues }
 
 // Subentries returns the held raw requests.
 func (e *Entry) Subentries() []Subentry { return e.subs }
@@ -83,6 +90,7 @@ type File struct {
 	Allocations int64 // entries allocated (each implies a memory dispatch)
 	MergeFails  int64 // merges refused because the target entry was full
 	Comparisons int64 // entry comparisons performed during lookups
+	Reissues    int64 // entries re-keyed after a poisoned response
 }
 
 // New constructs an MSHR file.
@@ -233,6 +241,21 @@ func (f *File) Release(entry int) []Subentry {
 	*e = Entry{}
 	f.free++
 	return subs
+}
+
+// Reissue re-keys entry i to a fresh packet ID after its response came
+// back poisoned: the entry stays allocated with its subentries intact,
+// and the retransmitted packet's response routes back to it. Returns
+// the entry's updated re-issue count.
+func (f *File) Reissue(entry int, pktID uint64) int {
+	e := &f.entries[entry]
+	if !e.valid {
+		panic(fmt.Sprintf("mshr: re-issuing invalid entry %d", entry))
+	}
+	e.pktID = pktID
+	e.reissues++
+	f.Reissues++
+	return e.reissues
 }
 
 // FindByPacket returns the entry holding the given dispatched packet ID.

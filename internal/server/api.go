@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/fault"
 	"github.com/pacsim/pac/internal/report"
 	"github.com/pacsim/pac/internal/telemetry"
 	"github.com/pacsim/pac/internal/workload"
@@ -110,6 +112,28 @@ type SimulateRequest struct {
 	Seed            uint64  `json:"seed"`
 	L1Bytes         int     `json:"l1Bytes"`
 	LLCBytes        int     `json:"llcBytes"`
+
+	// Fault-plan knobs (all zero: no injection). They mirror
+	// fault.Config and share its validation, so a malformed plan is a
+	// 400 at submit time, not a failed job.
+	FaultLinkCRCRate        float64 `json:"faultLinkCrcRate"`
+	FaultPoisonRate         float64 `json:"faultPoisonRate"`
+	FaultVaultStallInterval int64   `json:"faultVaultStallInterval"`
+	FaultVaultStallCycles   int64   `json:"faultVaultStallCycles"`
+	FaultMaxReissues        int     `json:"faultMaxReissues"`
+	FaultSeed               uint64  `json:"faultSeed"`
+}
+
+// faultPlan assembles the request's fault.Config.
+func (r SimulateRequest) faultPlan() fault.Config {
+	return fault.Config{
+		LinkCRCRate:        r.FaultLinkCRCRate,
+		PoisonRate:         r.FaultPoisonRate,
+		VaultStallInterval: r.FaultVaultStallInterval,
+		VaultStallCycles:   r.FaultVaultStallCycles,
+		MaxReissues:        r.FaultMaxReissues,
+		Seed:               r.FaultSeed,
+	}
 }
 
 // SimulateResult is the payload of a finished simulate job. Result uses
@@ -184,14 +208,26 @@ func (s *Server) validate(req SimulateRequest) (experiments.Options, string, coa
 	if req.LLCBytes > 0 {
 		opts.LLCBytes = req.LLCBytes
 	}
+	plan := req.faultPlan()
+	if err := plan.Validate(); err != nil {
+		return experiments.Options{}, "", 0, err
+	}
+	opts.Faults = plan
 	return experiments.NewSession(opts).Options(), req.Benchmark, mode, nil
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -397,6 +433,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 	lines, unsubscribe := job.subscribe()
 	defer unsubscribe()
+	// keepAlive ticks whenever the stream has been idle for the
+	// configured interval; the comment line keeps proxies and LBs from
+	// severing a long-running job's connection. A nil channel (interval
+	// disabled) never fires.
+	var keepAlive <-chan time.Time
+	if s.cfg.SSEKeepAlive > 0 {
+		ticker := time.NewTicker(s.cfg.SSEKeepAlive)
+		defer ticker.Stop()
+		keepAlive = ticker.C
+	}
 	for {
 		select {
 		case line, open := <-lines:
@@ -408,6 +454,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", sseEscape(line))
+			flusher.Flush()
+		case <-keepAlive:
+			fmt.Fprint(w, ": keep-alive\n\n")
 			flusher.Flush()
 		case <-r.Context().Done():
 			return

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -45,6 +47,12 @@ type Job struct {
 
 	run func(ctx context.Context) (any, error)
 
+	// clientCancel is closed (once) when DELETE /v1/jobs/{id} aborts
+	// the job, distinguishing a user cancellation from a watchdog kill:
+	// the former is terminal, the latter is retryable.
+	clientCancel chan struct{}
+	cancelOnce   sync.Once
+
 	mu       sync.Mutex
 	status   Status
 	err      string
@@ -53,10 +61,21 @@ type Job struct {
 	dropped  int // progress lines evicted by the retention cap
 	subs     []chan string
 	done     chan struct{}
-	cancel   context.CancelFunc // cancels the running job's context
+	cancel   context.CancelFunc // cancels the running attempt's context
+	attempts int                // execution attempts so far (1 = no retries yet)
 	created  time.Time
 	started  time.Time
 	finished time.Time
+}
+
+// abortedByClient reports whether DELETE cancelled the job.
+func (j *Job) abortedByClient() bool {
+	select {
+	case <-j.clientCancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -155,6 +174,7 @@ type jobView struct {
 	Progress   []string        `json:"progress,omitempty"`
 	Dropped    int             `json:"progressDropped,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
+	Attempts   int             `json:"attempts,omitempty"`
 	CreatedAt  time.Time       `json:"createdAt"`
 	StartedAt  *time.Time      `json:"startedAt,omitempty"`
 	FinishedAt *time.Time      `json:"finishedAt,omitempty"`
@@ -172,6 +192,7 @@ func (j *Job) view(withResult bool) jobView {
 		Error:     j.err,
 		Progress:  append([]string(nil), j.progress...),
 		Dropped:   j.dropped,
+		Attempts:  j.attempts,
 		CreatedAt: j.created,
 	}
 	if withResult {
@@ -194,6 +215,12 @@ type jobManager struct {
 	reg        *telemetry.Registry
 	jobTimeout time.Duration
 	retain     int
+	// maxRetries is how many times a failed attempt (error, watchdog
+	// kill, or recovered panic) is re-run before the job fails for
+	// good; 0 disables retries. retryBase seeds the exponential
+	// backoff between attempts.
+	maxRetries int
+	retryBase  time.Duration
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -209,14 +236,16 @@ type jobManager struct {
 	closing   sync.Once
 }
 
-func newJobManager(workers, depth int, jobTimeout time.Duration, retain int,
-	hooks *telemetry.Hooks, reg *telemetry.Registry) *jobManager {
+func newJobManager(workers, depth int, jobTimeout time.Duration, retain, maxRetries int,
+	retryBase time.Duration, hooks *telemetry.Hooks, reg *telemetry.Registry) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
 		hooks:      hooks,
 		reg:        reg,
 		jobTimeout: jobTimeout,
 		retain:     retain,
+		maxRetries: maxRetries,
+		retryBase:  retryBase,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, depth),
@@ -240,12 +269,13 @@ func (m *jobManager) submit(kind string, run func(ctx context.Context) (any, err
 	}
 	m.nextID++
 	j := &Job{
-		id:      fmt.Sprintf("j%06d", m.nextID),
-		kind:    kind,
-		run:     run,
-		status:  StatusQueued,
-		done:    make(chan struct{}),
-		created: time.Now(),
+		id:           fmt.Sprintf("j%06d", m.nextID),
+		kind:         kind,
+		run:          run,
+		status:       StatusQueued,
+		done:         make(chan struct{}),
+		clientCancel: make(chan struct{}),
+		created:      time.Now(),
 	}
 	select {
 	case m.queue <- j:
@@ -316,6 +346,10 @@ func (m *jobManager) cancelJob(j *Job) {
 	case j.status == StatusRunning && j.cancel != nil:
 		cancel := j.cancel
 		j.mu.Unlock()
+		// Mark the cancellation as client-initiated before aborting the
+		// attempt, so the worker neither retries nor counts it as a
+		// watchdog kill. The close also interrupts a backoff sleep.
+		j.cancelOnce.Do(func() { close(j.clientCancel) })
 		cancel()
 		return
 	}
@@ -333,6 +367,24 @@ func (m *jobManager) worker() {
 			j.mu.Unlock()
 			continue
 		}
+		j.status = StatusRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+		m.execute(j, running)
+	}
+}
+
+// execute drives one job through up to 1+maxRetries attempts. Every
+// attempt runs under its own wall-clock watchdog deadline (jobTimeout):
+// a wedged simulation is cancelled through the context plumbing, counted
+// in pac_job_watchdog_kills_total, and — like an internal error or a
+// recovered panic — retried after an exponential backoff with jitter.
+// A client cancellation (DELETE) or daemon drain ends the job
+// immediately with StatusCancelled, never a retry.
+func (m *jobManager) execute(j *Job, running *telemetry.Gauge) {
+	var result any
+	var err error
+	for attempt := 0; ; attempt++ {
 		var ctx context.Context
 		var cancel context.CancelFunc
 		if m.jobTimeout > 0 {
@@ -340,34 +392,108 @@ func (m *jobManager) worker() {
 		} else {
 			ctx, cancel = context.WithCancel(m.baseCtx)
 		}
-		j.status = StatusRunning
+		j.mu.Lock()
 		j.cancel = cancel
-		j.started = time.Now()
+		j.attempts = attempt + 1
 		j.mu.Unlock()
 
 		running.Inc()
-		result, err := j.run(ctx)
+		result, err = m.runAttempt(ctx, j)
 		running.Dec()
+		watchdogKill := err != nil && ctx.Err() == context.DeadlineExceeded &&
+			m.baseCtx.Err() == nil && !j.abortedByClient()
 		cancel()
 
-		var status Status
-		var payload json.RawMessage
-		switch {
-		case err == nil:
-			status = StatusDone
-			if result != nil {
-				if payload, err = json.Marshal(result); err != nil {
-					status = StatusFailed
-					payload = nil
-				}
-			}
-		case isCancelled(err):
-			status = StatusCancelled
-		default:
-			status = StatusFailed
+		if err == nil {
+			break
 		}
-		j.finish(status, payload, err)
-		m.noteFinished(j, status)
+		if watchdogKill {
+			m.reg.Counter("pac_job_watchdog_kills_total",
+				"Job attempts cancelled by the per-job watchdog deadline.",
+				"kind", j.kind).Inc()
+			err = fmt.Errorf("watchdog: attempt exceeded job deadline %s: %v", m.jobTimeout, err)
+		}
+		if j.abortedByClient() || m.baseCtx.Err() != nil {
+			// Client cancellation and daemon drain are terminal; the
+			// classification below maps them to StatusCancelled.
+			break
+		}
+		if attempt >= m.maxRetries {
+			if m.maxRetries > 0 {
+				err = fmt.Errorf("failed after %d attempts: %w", attempt+1, err)
+			}
+			break
+		}
+		delay := m.backoff(attempt)
+		j.addProgress(fmt.Sprintf("attempt %d/%d failed: %v; retrying in %s",
+			attempt+1, m.maxRetries+1, err, delay.Round(time.Millisecond)))
+		m.reg.Counter("pac_job_retries_total", "Job attempts retried after a failure.",
+			"kind", j.kind).Inc()
+		if !m.sleep(delay, j) {
+			break // drain or client cancel interrupted the backoff
+		}
+	}
+
+	var status Status
+	var payload json.RawMessage
+	switch {
+	case err == nil:
+		status = StatusDone
+		if result != nil {
+			if payload, err = json.Marshal(result); err != nil {
+				status = StatusFailed
+				payload = nil
+			}
+		}
+	case j.abortedByClient() || m.baseCtx.Err() != nil || isCancelled(err):
+		status = StatusCancelled
+	default:
+		status = StatusFailed
+	}
+	j.finish(status, payload, err)
+	m.noteFinished(j, status)
+}
+
+// runAttempt runs the job body once, converting a panic into an error
+// attributed to the job so one poisoned run cannot take down the worker
+// pool.
+func (m *jobManager) runAttempt(ctx context.Context, j *Job) (result any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.reg.Counter("pac_job_panics_total", "Job attempts that panicked and were recovered.",
+				"kind", j.kind).Inc()
+			err = fmt.Errorf("job %s (%s) panicked: %v\n%s", j.id, j.kind, p, debug.Stack())
+		}
+	}()
+	return j.run(ctx)
+}
+
+// backoff returns the jittered exponential delay before retry attempt+1:
+// base<<attempt, capped at 30s, with uniform jitter over [d/2, d].
+func (m *jobManager) backoff(attempt int) time.Duration {
+	base := m.retryBase
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if max := 30 * time.Second; d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleep waits out a backoff delay, returning false if the daemon drain
+// or a client cancellation interrupted it.
+func (m *jobManager) sleep(d time.Duration, j *Job) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-m.baseCtx.Done():
+		return false
+	case <-j.clientCancel:
+		return false
 	}
 }
 

@@ -61,12 +61,30 @@ type Config struct {
 	// RequestTimeout caps synchronous waiting (?wait=...) per request
 	// (default 60s).
 	RequestTimeout time.Duration
-	// JobTimeout aborts a job still running after this long
-	// (default 15m).
+	// JobTimeout is the per-attempt watchdog deadline: an attempt still
+	// running after this long is cancelled through its context, counted
+	// in pac_job_watchdog_kills_total, and retried when MaxRetries
+	// allows (default 15m).
 	JobTimeout time.Duration
+	// MaxRetries is how many times a failed job attempt (internal
+	// error, watchdog kill, or recovered panic) is retried with
+	// exponential backoff before the job fails for good. 0 disables
+	// retries; client cancellations are never retried.
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff between attempts
+	// (delay ~ base<<attempt with jitter, capped at 30s; default
+	// 250ms).
+	RetryBaseDelay time.Duration
 	// RetainJobs bounds finished jobs kept for GET /v1/jobs
 	// (default 256).
 	RetainJobs int
+	// SSEKeepAlive is the idle interval after which the job event
+	// stream emits an SSE comment so proxies do not sever long-running
+	// connections (default 15s; negative disables).
+	SSEKeepAlive time.Duration
+	// MaxBodyBytes caps POST request bodies; oversized requests get
+	// 413 (default 1 MiB).
+	MaxBodyBytes int64
 	// Registry receives all metrics; nil creates a fresh one.
 	Registry *telemetry.Registry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
@@ -89,8 +107,20 @@ func (c Config) withDefaults() Config {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 15 * time.Minute
 	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 250 * time.Millisecond
+	}
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 256
+	}
+	if c.SSEKeepAlive == 0 {
+		c.SSEKeepAlive = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
 	}
 	if c.Parallel <= 0 {
 		c.Parallel = c.Options.Parallel
@@ -122,7 +152,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, reg: cfg.Registry, start: time.Now()}
 	s.hooks = telemetry.InstrumentedHooks(s.reg)
 	s.jobs = newJobManager(cfg.Concurrency, cfg.QueueDepth, cfg.JobTimeout,
-		cfg.RetainJobs, s.hooks, s.reg)
+		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, s.hooks, s.reg)
 	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress)
 	// Materialise the default session eagerly so the daemon's base
 	// options are always resident and experiment jobs share one memo.

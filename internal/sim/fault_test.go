@@ -1,0 +1,207 @@
+package sim
+
+// Chaos suite for the fault-injection tentpole: seeded fault plans must
+// be byte-identical between the event kernel and the reference stepper,
+// identical across repeated runs (including concurrent ones, proving
+// race-cleanliness under -race), and must degrade — not disable — the
+// cycle-skipping machinery.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/fault"
+	"github.com/pacsim/pac/internal/workload"
+)
+
+// chaosPlan is an aggressive-but-survivable fault plan: roughly one
+// packet in ten replays on CRC, one in fifty returns poisoned, and a
+// vault freezes for 300 cycles every ~2000.
+func chaosPlan() fault.Config {
+	return fault.Config{
+		LinkCRCRate:        0.10,
+		PoisonRate:         0.02,
+		VaultStallInterval: 2_000,
+		VaultStallCycles:   300,
+		Seed:               3,
+	}
+}
+
+// TestKernelEquivalenceFaults extends the tentpole equivalence contract
+// to degraded hardware: with faults injected, the event kernel must
+// still produce a Result byte-identical to the reference stepper for
+// every benchmark × mode combination — fault windows are timed events
+// the scheduler must hit exactly, and per-packet draws depend only on
+// submission order. It also proves faults bound rather than disable
+// cycle-skipping, and that every fault class actually fired somewhere.
+func TestKernelEquivalenceFaults(t *testing.T) {
+	var total fault.Stats
+	var totalSkipped int64
+	for _, bench := range workload.Names() {
+		for _, mode := range allModes {
+			label := fmt.Sprintf("%s/%s", bench, mode)
+			t.Run(label, func(t *testing.T) {
+				cfg := smallConfig(bench, mode)
+				cfg.AccessesPerCore = 1_200
+				cfg.Faults = chaosPlan()
+				event, ref := runBoth(t, cfg)
+				assertEquivalent(t, label, event, ref)
+				if event.MemPackets != event.HMC.Requests {
+					t.Errorf("%s: MemPackets %d != device requests %d (re-issues must count as packets)",
+						label, event.MemPackets, event.HMC.Requests)
+				}
+				s := event.Faults
+				total.LinkCRCErrors += s.LinkCRCErrors
+				total.VaultStalls += s.VaultStalls
+				total.PoisonedResponses += s.PoisonedResponses
+				totalSkipped += event.SkippedCycles
+			})
+		}
+	}
+	if total.LinkCRCErrors == 0 || total.VaultStalls == 0 || total.PoisonedResponses == 0 {
+		t.Errorf("some fault class never fired across the matrix: %+v", total)
+	}
+	if totalSkipped == 0 {
+		t.Error("fault injection disabled cycle-skipping entirely")
+	}
+}
+
+// TestFaultDeterminism proves the acceptance criterion "identical seed
+// + fault plan ⇒ identical Result": eight concurrent runs of one
+// fault-enabled configuration must produce byte-identical results (and
+// running them under -race proves the injector shares no state across
+// runners).
+func TestFaultDeterminism(t *testing.T) {
+	cfg := smallConfig("BFS", coalesce.ModePAC)
+	cfg.AccessesPerCore = 2_000
+	cfg.Faults = chaosPlan()
+
+	const runs = 8
+	results := make([]*Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := NewRunner(cfg)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < runs; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("run %d diverged from run 0:\n%+v\nvs\n%+v", i, results[i], results[0])
+		}
+	}
+	if results[0].Faults.Total() == 0 {
+		t.Fatal("fault plan injected nothing; the determinism check is vacuous")
+	}
+	if results[0].MSHR.Reissues == 0 {
+		t.Error("no MSHR re-issues despite a poisoning plan")
+	}
+}
+
+// TestFaultSeedChangesPlan proves Faults.Seed selects a different plan
+// over the identical workload trace.
+func TestFaultSeedChangesPlan(t *testing.T) {
+	cfg := smallConfig("STREAM", coalesce.ModePAC)
+	cfg.AccessesPerCore = 2_000
+	cfg.Faults = chaosPlan()
+	a := run(t, cfg)
+	cfg.Faults.Seed++
+	b := run(t, cfg)
+	if reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Errorf("different fault seeds produced the identical fault history: %+v", a.Faults)
+	}
+	// Same workload seed: the trace itself is unchanged, so the raw
+	// request stream must match even though timings differ.
+	if a.RawRequests != b.RawRequests || a.Cache.Accesses != b.Cache.Accesses {
+		t.Errorf("fault seed perturbed the workload: %d/%d raw vs %d/%d accesses",
+			a.RawRequests, b.RawRequests, a.Cache.Accesses, b.Cache.Accesses)
+	}
+}
+
+// TestFaultsDegradeRun checks the injected faults actually cost cycles:
+// a faulty run of the same trace finishes no sooner than the fault-free
+// run, reports zero fault stats when disabled, and conserves the
+// packet/request identity in both.
+func TestFaultsDegradeRun(t *testing.T) {
+	cfg := smallConfig("GS", coalesce.ModePAC)
+	cfg.AccessesPerCore = 2_000
+	clean := run(t, cfg)
+	if clean.Faults != (fault.Stats{}) {
+		t.Errorf("fault stats non-zero with injection disabled: %+v", clean.Faults)
+	}
+	if clean.MSHR.Reissues != 0 {
+		t.Errorf("re-issues non-zero with injection disabled: %d", clean.MSHR.Reissues)
+	}
+
+	cfg.Faults = fault.Config{LinkCRCRate: 0.3, PoisonRate: 0.05, VaultStallInterval: 1_000, VaultStallCycles: 500}
+	faulty := run(t, cfg)
+	if faulty.Faults.Total() == 0 {
+		t.Fatal("aggressive plan injected nothing")
+	}
+	if faulty.Cycles < clean.Cycles {
+		t.Errorf("faulty run finished sooner than clean run: %d < %d", faulty.Cycles, clean.Cycles)
+	}
+	if faulty.MemPackets != faulty.HMC.Requests {
+		t.Errorf("MemPackets %d != device requests %d", faulty.MemPackets, faulty.HMC.Requests)
+	}
+	if faulty.MSHR.Reissues == 0 {
+		t.Error("5% poison plan produced no re-issues")
+	}
+	// Every dispatched packet is either an entry allocation or a
+	// poison retransmission of one.
+	if faulty.MemPackets != faulty.MSHR.Allocations+faulty.MSHR.Reissues {
+		t.Errorf("packet accounting: %d packets != allocations %d + reissues %d",
+			faulty.MemPackets, faulty.MSHR.Allocations, faulty.MSHR.Reissues)
+	}
+}
+
+// TestPoisonCapUnwedges proves a pathological PoisonRate 1 plan cannot
+// wedge the run: every entry re-issues up to the cap and then accepts
+// its response.
+func TestPoisonCapUnwedges(t *testing.T) {
+	cfg := smallConfig("STREAM", coalesce.ModeNone)
+	cfg.AccessesPerCore = 300
+	cfg.Faults = fault.Config{PoisonRate: 1, MaxReissues: 3}
+	res := run(t, cfg)
+	if res.Faults.PoisonedResponses == 0 {
+		t.Fatal("no poisoned responses at rate 1")
+	}
+	// Every delivered response was poisoned; each entry retried exactly
+	// MaxReissues times before accepting.
+	if want := res.MSHR.Allocations * 3; res.MSHR.Reissues != want {
+		t.Errorf("Reissues = %d, want Allocations(%d) * cap(3) = %d",
+			res.MSHR.Reissues, res.MSHR.Allocations, want)
+	}
+}
+
+// TestFaultConfigRejected checks malformed plans fail construction.
+func TestFaultConfigRejected(t *testing.T) {
+	cfg := smallConfig("GS", coalesce.ModePAC)
+	cfg.Faults.LinkCRCRate = 1.5
+	if _, err := NewRunner(cfg); err == nil {
+		t.Error("LinkCRCRate 1.5 accepted")
+	}
+	cfg = smallConfig("GS", coalesce.ModePAC)
+	cfg.Faults.VaultStallInterval = -1
+	if _, err := NewRunner(cfg); err == nil {
+		t.Error("negative VaultStallInterval accepted")
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/core"
+	"github.com/pacsim/pac/internal/fault"
 	"github.com/pacsim/pac/internal/hmc"
 	"github.com/pacsim/pac/internal/stats"
 )
@@ -31,6 +32,8 @@ type MSHRStats struct {
 	MergeFails int64
 	// Comparisons counts entry comparisons during lookups.
 	Comparisons int64
+	// Reissues counts entries re-keyed after poisoned responses.
+	Reissues int64
 }
 
 // Result carries everything measured during one simulation run.
@@ -75,6 +78,10 @@ type Result struct {
 	MSHR  MSHRStats
 	HMC   hmc.Stats
 
+	// Faults counts the injected transaction-layer faults; the zero
+	// value means injection was disabled (or injected nothing).
+	Faults fault.Stats
+
 	// PAC holds the coalescing-network statistics; nil for baselines.
 	PAC *core.Stats
 }
@@ -96,8 +103,12 @@ func (r *Runner) collect() {
 		Allocations: r.file.Allocations,
 		MergeFails:  r.file.MergeFails,
 		Comparisons: r.file.Comparisons,
+		Reissues:    r.file.Reissues,
 	}
 	r.res.HMC = r.dev.Stats
+	if r.faults != nil {
+		r.res.Faults = r.faults.Snapshot()
+	}
 	if r.pac != nil {
 		s := r.pac.Stats
 		r.res.PAC = &s
@@ -107,9 +118,12 @@ func (r *Runner) collect() {
 // CoalescingEfficiency is the paper's Equation 1 at the whole-system
 // level: the percentage of raw LLC requests that never became memory
 // packets, whether eliminated inside the coalescing network or merged in
-// the MSHRs.
+// the MSHRs. Poison retransmissions are excluded: a re-issued packet is
+// the same raw work resent, not a raw request reaching memory, so a
+// degraded link lowers bandwidth and latency figures without corrupting
+// the coalescing metric.
 func (r *Result) CoalescingEfficiency() float64 {
-	return stats.Pct(r.RawRequests-r.MemPackets, r.RawRequests)
+	return stats.Pct(r.RawRequests-(r.MemPackets-r.MSHR.Reissues), r.RawRequests)
 }
 
 // RuntimeNS returns the run's wall time in simulated nanoseconds.

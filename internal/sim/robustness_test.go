@@ -6,58 +6,89 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"github.com/pacsim/pac/internal/cache"
 	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/fault"
 	"github.com/pacsim/pac/internal/workload"
 )
+
+// randomConfig draws one randomised machine configuration. withFaults
+// additionally draws a random fault plan, so the sweep also covers
+// degraded-link operation under the event kernel.
+func randomConfig(rng *rand.Rand, withFaults bool) Config {
+	names := workload.Names()
+	modes := []coalesce.Mode{
+		coalesce.ModeNone, coalesce.ModeDMC, coalesce.ModePAC,
+		coalesce.ModeSortNet, coalesce.ModeRowBuf,
+	}
+	bench := names[rng.Intn(len(names))]
+	mode := modes[rng.Intn(len(modes))]
+	cfg := DefaultConfig(bench, mode)
+	cfg.Procs = []ProcSpec{{Benchmark: bench, Cores: 1 + rng.Intn(3)}}
+	cfg.Seed = uint64(rng.Int63())
+	cfg.Scale = 0.01 + rng.Float64()*0.03
+	cfg.AccessesPerCore = 500 + rng.Intn(2000)
+	cfg.MSHRs = 4 << rng.Intn(3)
+	cfg.PAC.Streams = 4 << rng.Intn(3)
+	cfg.PAC.Timeout = int64(4 << rng.Intn(4))
+	cfg.PAC.MAQDepth = 4 << rng.Intn(3)
+	cfg.MaxOutstandingLoads = 1 + rng.Intn(4)
+	cfg.IssueInterval = 1 + rng.Intn(8)
+	cfg.DisableNetworkCtrl = rng.Intn(2) == 0
+	cfg.Virtualize = rng.Intn(3) == 0
+	cfg.Hierarchy = cache.HierarchyConfig{
+		Cores: totalCoresOf(cfg.Procs),
+		L1:    cache.Config{Size: 1 << (10 + rng.Intn(2)), Ways: 2 << rng.Intn(2)},
+		LLC:   cache.Config{Size: 64 << (10 + rng.Intn(2)), Ways: 8},
+	}
+	if withFaults {
+		cfg.Faults = fault.Config{
+			LinkCRCRate:        rng.Float64() * 0.3,
+			PoisonRate:         rng.Float64() * 0.1,
+			VaultStallInterval: int64(500 + rng.Intn(5000)),
+			VaultStallCycles:   int64(50 + rng.Intn(500)),
+			MaxReissues:        1 + rng.Intn(8),
+			Seed:               uint64(rng.Int63()),
+		}
+	}
+	return cfg
+}
+
+// describeConfig renders the seeds that reproduce a failing draw.
+func describeConfig(i int, cfg Config) string {
+	return fmt.Sprintf("config %d (%s/%v seed=%d faults=%+v)",
+		i, cfg.Procs[0].Benchmark, cfg.Mode, cfg.Seed, cfg.Faults)
+}
 
 func TestRandomConfigsComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("randomised sweep is slow")
 	}
 	rng := rand.New(rand.NewSource(99))
-	names := workload.Names()
-	modes := []coalesce.Mode{
-		coalesce.ModeNone, coalesce.ModeDMC, coalesce.ModePAC,
-		coalesce.ModeSortNet, coalesce.ModeRowBuf,
-	}
-	for i := 0; i < 25; i++ {
-		bench := names[rng.Intn(len(names))]
-		mode := modes[rng.Intn(len(modes))]
-		cfg := DefaultConfig(bench, mode)
-		cfg.Procs = []ProcSpec{{Benchmark: bench, Cores: 1 + rng.Intn(3)}}
-		cfg.Seed = uint64(rng.Int63())
-		cfg.Scale = 0.01 + rng.Float64()*0.03
-		cfg.AccessesPerCore = 500 + rng.Intn(2000)
-		cfg.MSHRs = 4 << rng.Intn(3)
-		cfg.PAC.Streams = 4 << rng.Intn(3)
-		cfg.PAC.Timeout = int64(4 << rng.Intn(4))
-		cfg.PAC.MAQDepth = 4 << rng.Intn(3)
-		cfg.MaxOutstandingLoads = 1 + rng.Intn(4)
-		cfg.IssueInterval = 1 + rng.Intn(8)
-		cfg.DisableNetworkCtrl = rng.Intn(2) == 0
-		cfg.Virtualize = rng.Intn(3) == 0
-		cfg.Hierarchy = cache.HierarchyConfig{
-			Cores: totalCoresOf(cfg.Procs),
-			L1:    cache.Config{Size: 1 << (10 + rng.Intn(2)), Ways: 2 << rng.Intn(2)},
-			LLC:   cache.Config{Size: 64 << (10 + rng.Intn(2)), Ways: 8},
-		}
+	// 25 fault-free configs, then 15 with random fault plans; every
+	// failure message carries the seeds needed to replay the wedge.
+	for i := 0; i < 40; i++ {
+		cfg := randomConfig(rng, i >= 25)
 		r, err := NewRunner(cfg)
 		if err != nil {
-			t.Fatalf("config %d (%s/%v): %v", i, bench, mode, err)
+			t.Fatalf("%s: %v", describeConfig(i, cfg), err)
 		}
 		res, err := r.Run()
 		if err != nil {
-			t.Fatalf("config %d (%s/%v) wedged: %v", i, bench, mode, err)
+			t.Fatalf("%s wedged: %v", describeConfig(i, cfg), err)
 		}
 		if res.Cycles <= 0 {
-			t.Fatalf("config %d: no progress", i)
+			t.Fatalf("%s: no progress", describeConfig(i, cfg))
 		}
 		if e := res.CoalescingEfficiency(); e < 0 || e > 100 {
-			t.Fatalf("config %d: efficiency %.2f out of range", i, e)
+			t.Fatalf("%s: efficiency %.2f out of range", describeConfig(i, cfg), e)
+		}
+		if !cfg.Faults.Enabled() && res.Faults.Total() != 0 {
+			t.Fatalf("%s: fault stats non-zero on a fault-free run", describeConfig(i, cfg))
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/core"
 	"github.com/pacsim/pac/internal/engine"
+	"github.com/pacsim/pac/internal/fault"
 	"github.com/pacsim/pac/internal/hmc"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/mshr"
@@ -91,6 +92,12 @@ type Config struct {
 	Hierarchy cache.HierarchyConfig
 	// HMC configures the memory device; zero value uses defaults.
 	HMC hmc.Config
+	// Faults configures deterministic HMC transaction-layer fault
+	// injection (link CRC replays, vault ECC-scrub stalls, poisoned
+	// responses). The zero value injects nothing and leaves results
+	// byte-identical to a fault-free build; any non-zero plan is
+	// derived from Seed and Faults.Seed only, never wall clock.
+	Faults fault.Config
 	// DisableNetworkCtrl turns off the paper's network-controller
 	// optimisation (raw requests bypass an idle PAC straight into the
 	// MSHRs); for ablation studies.
@@ -190,6 +197,9 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("sim: coalescer targets %dB requests but the device accepts at most %dB",
 			c.PAC.Device.MaxReqBytes, c.HMC.MaxReqBytes)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = int64(c.AccessesPerCore)*400 + 1_000_000
 	}
@@ -237,6 +247,7 @@ type Runner struct {
 	pac    *core.PAC // nil unless Mode == ModePAC
 	file   *mshr.File
 	dev    *hmc.Device
+	faults *fault.Injector // nil unless cfg.Faults is enabled
 
 	cores  []coreState
 	now    int64
@@ -312,6 +323,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 		MaxBlocks:     cfg.PAC.Device.MaxReqBlocks(),
 	})
 	r.dev = hmc.New(cfg.HMC)
+	if cfg.Faults.Enabled() {
+		r.faults = fault.NewInjector(cfg.Faults, cfg.Seed, cfg.HMC.Vaults)
+		r.dev.InstallFaults(r.faults)
+	}
 
 	r.res.Mode = cfg.Mode
 	r.res.Benchmarks = make([]string, len(cfg.Procs))
@@ -354,22 +369,34 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	} else {
 		err = r.runEvents(ctx)
 	}
+	var fs fault.Stats
+	if r.faults != nil {
+		fs = r.faults.Snapshot()
+	}
 	if err != nil {
 		kind := telemetry.KindSimFailed
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
 			kind = telemetry.KindSimCancelled
 		}
-		hooks.Emit(telemetry.Event{Kind: kind, Bench: bench, Mode: mode})
+		hooks.Emit(telemetry.Event{
+			Kind: kind, Bench: bench, Mode: mode,
+			FaultsCRC:    fs.LinkCRCErrors,
+			FaultsStall:  fs.VaultStalls,
+			FaultsPoison: fs.PoisonedResponses,
+		})
 		return nil, err
 	}
 	r.collect()
 	hooks.Emit(telemetry.Event{
-		Kind:    telemetry.KindSimCompleted,
-		Bench:   bench,
-		Mode:    mode,
-		Wall:    time.Since(start),
-		Cycles:  r.res.Cycles,
-		Skipped: r.res.SkippedCycles,
+		Kind:         telemetry.KindSimCompleted,
+		Bench:        bench,
+		Mode:         mode,
+		Wall:         time.Since(start),
+		Cycles:       r.res.Cycles,
+		Skipped:      r.res.SkippedCycles,
+		FaultsCRC:    fs.LinkCRCErrors,
+		FaultsStall:  fs.VaultStalls,
+		FaultsPoison: fs.PoisonedResponses,
 	})
 	r.hier.Record(hooks, bench)
 	return &r.res, nil
@@ -419,6 +446,11 @@ func (r *Runner) runEvents(ctx context.Context) error {
 		r.pf,
 		engine.Func(r.dispatchWake),
 	)
+	if r.faults != nil {
+		// A pending vault-stall window is a timed event: it bounds the
+		// skip so the freeze lands on the exact cycle the window opens.
+		sched.Register(r.faults)
+	}
 	for iter := int64(0); !r.finished(); iter++ {
 		if done != nil && iter&cancelCheckMask == 0 {
 			select {
@@ -538,6 +570,9 @@ func (r *Runner) skipTo(t int64) {
 		}
 	}
 	r.pipe.SkipTo(t)
+	if r.faults != nil {
+		r.faults.SkipTo(t)
+	}
 	r.res.SkippedCycles += k
 	r.now = t
 }
@@ -558,13 +593,33 @@ func (r *Runner) finished() bool {
 func (r *Runner) step() {
 	r.now++
 
-	// 1. Memory responses: release MSHRs, unblock cores.
+	// 0. Fault windows: a vault-stall window opening this cycle
+	// freezes its vault's controller before any other activity. Both
+	// drivers reach every window-start cycle (the injector's NextWake
+	// bounds the event kernel's skip), so the freeze is applied at the
+	// same cycle either way.
+	if r.faults != nil {
+		for {
+			vault, until, ok := r.faults.PopWindow(r.now)
+			if !ok {
+				break
+			}
+			r.dev.FreezeVault(vault, until)
+		}
+	}
+
+	// 1. Memory responses: release MSHRs, unblock cores. A poisoned
+	// response re-issues the entry's request instead of releasing it.
 	for _, resp := range r.dev.PopCompleted(r.now) {
 		entry, ok := r.file.FindByPacket(resp.ID)
 		if !ok {
 			panic(fmt.Sprintf("sim: response for unknown packet %d", resp.ID))
 		}
 		e := r.file.Entry(entry)
+		if resp.Poisoned && r.faults != nil && r.faults.NotePoisoned(e.ReissueCount()) {
+			r.reissue(entry, e)
+			continue
+		}
 		base, blocks := e.Base(), e.Blocks()
 		for _, sub := range r.file.Release(entry) {
 			r.completeRaw(sub.Req)
@@ -616,6 +671,26 @@ func (r *Runner) admit(pkt mem.Coalesced) bool {
 	r.res.MemPackets++
 	r.dev.Submit(pkt, r.now)
 	return true
+}
+
+// reissue retransmits an MSHR entry's request after a poisoned
+// response: the entry keeps its subentries and is re-keyed to a fresh
+// packet ID, and the replacement packet dispatches immediately. The
+// retransmission is a real memory packet — it occupies a link, the
+// crossbar and the bank again, and counts in both MemPackets and the
+// device's request statistics.
+func (r *Runner) reissue(entry int, e *mshr.Entry) {
+	r.nextID++
+	pkt := mem.Coalesced{
+		ID:        r.nextID,
+		Addr:      e.Base() << mem.BlockShift,
+		Size:      uint32(e.Blocks() * mem.BlockSize),
+		Op:        e.Op(),
+		Assembled: r.now,
+	}
+	r.file.Reissue(entry, pkt.ID)
+	r.res.MemPackets++
+	r.dev.Submit(pkt, r.now)
 }
 
 // completeRaw finishes one raw LLC request: loads and atomics release

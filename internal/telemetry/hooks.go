@@ -77,6 +77,11 @@ type Event struct {
 	// Accesses and LLCMisses are the hierarchy counters of a
 	// KindCacheStats event.
 	Accesses, LLCMisses int64
+	// FaultsCRC, FaultsStall and FaultsPoison count the injected
+	// transaction-layer faults of a terminal simulation event (link
+	// CRC replays, vault ECC-scrub stalls, poisoned responses); all
+	// zero when fault injection is disabled.
+	FaultsCRC, FaultsStall, FaultsPoison int64
 }
 
 // Hooks is the cheap event sink the instrumented packages (sim, cache,
@@ -131,6 +136,8 @@ const (
 	MetricQueueDepth     = "pac_jobs_queue_depth"
 	MetricCacheAccesses  = "pac_cache_accesses_total"
 	MetricCacheMisses    = "pac_cache_llc_misses_total"
+	MetricFaultsInjected = "pac_faults_injected_total"
+	MetricLinkRetries    = "pac_link_retries_total"
 )
 
 // InstrumentedHooks builds hooks whose observer translates events into
@@ -152,10 +159,13 @@ func InstrumentedHooks(r *Registry) *Hooks {
 			r.Counter(MetricSimCycles, "Simulated cycles.").Add(float64(ev.Cycles))
 			r.Counter(MetricSimSkipped, "Simulated cycles skipped by the event kernel.").
 				Add(float64(ev.Skipped))
+			recordFaults(r, ev)
 		case KindSimCancelled:
 			r.Counter(MetricSimsCancelled, "Simulations cancelled mid-run.").Inc()
+			recordFaults(r, ev)
 		case KindSimFailed:
 			r.Counter(MetricSimsFailed, "Simulations aborted on an internal error.").Inc()
+			recordFaults(r, ev)
 		case KindMemoHit:
 			r.Counter(MetricMemoHits, "Session memo lookups served from cache.").Inc()
 		case KindMemoMiss:
@@ -169,4 +179,25 @@ func InstrumentedHooks(r *Registry) *Hooks {
 				"bench", ev.Bench).Add(float64(ev.LLCMisses))
 		}
 	}}
+}
+
+// recordFaults translates a terminal simulation event's fault counters
+// into the injection metrics. Counters are created lazily only when a
+// run actually injected that fault kind, so fault-free deployments
+// expose no fault series.
+func recordFaults(r *Registry, ev Event) {
+	if ev.FaultsCRC > 0 {
+		r.Counter(MetricFaultsInjected, "Injected HMC transaction-layer faults.",
+			"kind", "link-crc").Add(float64(ev.FaultsCRC))
+		r.Counter(MetricLinkRetries, "Link retry-buffer replays after CRC errors.").
+			Add(float64(ev.FaultsCRC))
+	}
+	if ev.FaultsStall > 0 {
+		r.Counter(MetricFaultsInjected, "Injected HMC transaction-layer faults.",
+			"kind", "vault-stall").Add(float64(ev.FaultsStall))
+	}
+	if ev.FaultsPoison > 0 {
+		r.Counter(MetricFaultsInjected, "Injected HMC transaction-layer faults.",
+			"kind", "poison").Add(float64(ev.FaultsPoison))
+	}
 }

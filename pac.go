@@ -19,6 +19,7 @@ import (
 	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/core"
 	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/fault"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/report"
 	"github.com/pacsim/pac/internal/server"
@@ -50,6 +51,13 @@ type (
 	ProcSpec = sim.ProcSpec
 	// Result carries the measurements of one simulation run.
 	Result = sim.Result
+	// FaultConfig is a deterministic fault-injection plan for the HMC
+	// device (link CRC replays, vault ECC-scrub stalls, poisoned
+	// responses); set it on SimConfig.Faults or ExperimentOptions.Faults.
+	// The zero value disables injection.
+	FaultConfig = fault.Config
+	// FaultStats counts the faults a plan injected during one run.
+	FaultStats = fault.Stats
 	// ExperimentOptions scale the paper-reproduction experiment runs.
 	ExperimentOptions = experiments.Options
 	// Experiment is one regenerable paper artefact.
@@ -320,6 +328,15 @@ type (
 	TelemetryHooks = telemetry.Hooks
 	// TelemetryEvent is one recorded occurrence.
 	TelemetryEvent = telemetry.Event
+)
+
+// Telemetry event kinds observable through a TelemetryHooks observer;
+// one of the three terminal kinds fires exactly once per simulation run.
+const (
+	TelemetryKindSimStarted   = telemetry.KindSimStarted
+	TelemetryKindSimCompleted = telemetry.KindSimCompleted
+	TelemetryKindSimCancelled = telemetry.KindSimCancelled
+	TelemetryKindSimFailed    = telemetry.KindSimFailed
 )
 
 // NewTelemetryRegistry creates an empty metric registry.

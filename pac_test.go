@@ -112,8 +112,8 @@ func TestBenchmarksList(t *testing.T) {
 }
 
 func TestExperimentsRegistry(t *testing.T) {
-	if len(Experiments()) != 22 {
-		t.Fatalf("got %d experiments, want 22", len(Experiments()))
+	if len(Experiments()) != 23 {
+		t.Fatalf("got %d experiments, want 23", len(Experiments()))
 	}
 }
 
