@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build test test-short test-race smoke serve smoke-serve chaos \
-        vet fmt bench bench-kernel figures figures-quick examples fuzz clean
+        vet fmt bench bench-kernel bench-alloc test-alloc figures \
+        figures-quick examples fuzz clean
 
 all: vet test build
 
@@ -60,6 +61,20 @@ bench:
 # cycle ratios, per-mode speedups).
 bench-kernel:
 	scripts/bench_baseline.sh
+
+# Allocation baseline: the BenchmarkAllocs suite distilled into
+# BENCH_alloc.json (ns/op, B/op, allocs/op). Fails if any steady-state
+# path regressed from 0 allocs/op.
+bench-alloc:
+	scripts/bench_alloc.sh
+
+# The steady-state zero-alloc unit gates plus the arena aliasing
+# oracles. Must run WITHOUT -race: race instrumentation allocates, so
+# the gates skip themselves under the race detector.
+test-alloc:
+	$(GO) test -run 'SteadyStateAllocFree|ScratchReuse|Poison|Aliasing' \
+		./internal/coalesce/ ./internal/mshr/ ./internal/hmc/ \
+		./internal/core/ ./internal/sim/ ./internal/arena/
 
 # Regenerate every paper artefact at full Table 1 scale.
 figures:

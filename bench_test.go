@@ -39,6 +39,7 @@ func benchOptions() ExperimentOptions {
 // found in the AVERAGE row's given column (when avgCol >= 0).
 func runFigure(b *testing.B, id string, avgCol int) {
 	b.Helper()
+	b.ReportAllocs()
 	var last float64
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSession(benchOptions())
@@ -130,6 +131,7 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 		L1:    cache.Config{Size: 2 << 10, Ways: 8},
 		LLC:   cache.Config{Size: 128 << 10, Ways: 8},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunBenchmark(cfg); err != nil {
@@ -151,6 +153,7 @@ func BenchmarkKernel(b *testing.B) {
 				driver = "reference"
 			}
 			b.Run(mode.String()+"/"+driver, func(b *testing.B) {
+				b.ReportAllocs()
 				var skippedPct float64
 				for i := 0; i < b.N; i++ {
 					cfg := DefaultSimConfig("GS", mode)
@@ -185,6 +188,7 @@ func BenchmarkSortingNetworks(b *testing.B) {
 		new  func() *sortnet.Network
 	}{{"bitonic", sortnet.NewBitonic}, {"oddeven", sortnet.NewOddEven}} {
 		b.Run(mk.name, func(b *testing.B) {
+			b.ReportAllocs()
 			v := make([]uint64, 64)
 			net := mk.new()
 			for i := 0; i < b.N; i++ {
@@ -203,6 +207,7 @@ func BenchmarkSortingNetworks(b *testing.B) {
 // reports system coalescing efficiency.
 func ablationRun(b *testing.B, mutate func(*sim.Config)) {
 	b.Helper()
+	b.ReportAllocs()
 	var eff float64
 	for i := 0; i < b.N; i++ {
 		cfg := sim.DefaultConfig("GS", ModePAC)
@@ -288,6 +293,7 @@ func BenchmarkAblationNetworkCtrl(b *testing.B) {
 			name = "disabled"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles int64
 			for i := 0; i < b.N; i++ {
 				cfg := sim.DefaultConfig("BFS", ModePAC)
@@ -313,6 +319,7 @@ func BenchmarkAblationNetworkCtrl(b *testing.B) {
 
 // BenchmarkAddressDecode measures the hot address-math helpers.
 func BenchmarkAddressDecode(b *testing.B) {
+	b.ReportAllocs()
 	var sink uint64
 	for i := 0; i < b.N; i++ {
 		a := uint64(i) * 73
@@ -329,6 +336,7 @@ func BenchmarkAblationPagePolicy(b *testing.B) {
 	for _, policy := range []hmc.PagePolicy{hmc.ClosedPage, hmc.OpenPage} {
 		policy := policy
 		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var hitRate float64
 			for i := 0; i < b.N; i++ {
 				cfg := sim.DefaultConfig("SSCA2", ModeNone)

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -39,6 +40,15 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fail(err)
+	}
+}
+
+// run carries the whole invocation so deferred teardown — profile
+// flushes above all — executes on every exit path except the bare
+// usage error.
+func run() error {
 	var (
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		experiment = flag.String("experiment", "", "experiment ID to run (or \"all\")")
@@ -52,6 +62,8 @@ func main() {
 		quick      = flag.Bool("quick", false, "fast smoke configuration (small caches, short traces)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation workers for experiment runs (1 = sequential; results are identical either way)")
 		config     = flag.String("config", "", "JSON options file (overridden by explicit flags)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON: full three-mode results with -bench, one {id, tables} object per experiment with -experiment")
 		outDir     = flag.String("out", "", "also write each experiment table to DIR/<id>.txt and .csv")
 		verbose    = flag.Bool("v", false, "print per-simulation progress")
@@ -66,6 +78,29 @@ func main() {
 	)
 	flag.Parse()
 
+	// Profiling mirrors `pacd -pprof`, but as one-shot files: the CPU
+	// profile covers the whole invocation, and the heap profile is
+	// written on exit with allocation sites retained (alloc_space), the
+	// view the zero-alloc hot-path work optimises for.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			if err := writeAllocProfile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "pacsim:", err)
+			}
+		}()
+	}
+
 	faults := pac.FaultConfig{
 		LinkCRCRate:        *faultCRC,
 		PoisonRate:         *faultPoison,
@@ -74,7 +109,7 @@ func main() {
 		Seed:               *faultSeed,
 	}
 	if err := faults.Validate(); err != nil {
-		fail(err)
+		return err
 	}
 
 	if *list {
@@ -82,7 +117,7 @@ func main() {
 		for _, e := range pac.Experiments() {
 			fmt.Printf("  %-8s %-11s %s\n", e.ID, e.Artefact, e.Desc)
 		}
-		return
+		return nil
 	}
 
 	opts := pac.ExperimentOptions{
@@ -95,7 +130,7 @@ func main() {
 	if *config != "" {
 		fileOpts, err := loadConfig(*config)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		// The config file provides defaults; explicitly set flags win.
 		set := map[string]bool{}
@@ -164,39 +199,55 @@ func main() {
 	// precompute fans the simulations an experiment selection needs out
 	// over the worker pool; the tables render from the memo afterwards,
 	// byte-identical to a sequential run.
-	precompute := func(ids ...string) {
+	precompute := func(ids ...string) error {
 		if *parallel <= 1 {
-			return
+			return nil
 		}
-		if err := session.Precompute(ctx, *parallel, ids...); err != nil {
-			fail(err)
-		}
+		return session.Precompute(ctx, *parallel, ids...)
 	}
 
 	switch {
 	case *bench != "":
 		if err := runBench(*bench, opts, hooks, *jsonOut); err != nil {
-			fail(err)
+			return err
 		}
 	case *experiment == "all":
-		precompute()
+		if err := precompute(); err != nil {
+			return err
+		}
 		for _, e := range pac.Experiments() {
 			if err := runExperiment(session, e.ID, *csv, *chart, *jsonOut, *verbose, *outDir); err != nil {
-				fail(err)
+				return err
 			}
 		}
 	case *experiment != "":
-		precompute(*experiment)
+		if err := precompute(*experiment); err != nil {
+			return err
+		}
 		if err := runExperiment(session, *experiment, *csv, *chart, *jsonOut, *verbose, *outDir); err != nil {
-			fail(err)
+			return err
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 	if simFailed.Load() {
-		fail(fmt.Errorf("one or more simulations ended in a sim-failed terminal event"))
+		return fmt.Errorf("one or more simulations ended in a sim-failed terminal event")
 	}
+	return nil
+}
+
+// writeAllocProfile dumps the allocs profile (allocation sites with
+// alloc_space retained) to path, the view the zero-alloc hot-path work
+// is tuned against.
+func writeAllocProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // flush accumulated allocation records
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 // fileOptions is the JSON schema of -config.

@@ -1,0 +1,317 @@
+// Package arena provides the small reusable-memory toolkit behind the
+// simulator's zero-allocation steady state: ring-buffer deques for the
+// pipeline stage queues, slice free-lists for per-packet parent slices,
+// and an open-addressed uint64 set replacing the hot-path maps.
+//
+// None of the types are safe for concurrent use; each sim.Runner owns its
+// own instances (threaded through sim.Scratch) and the experiment Session
+// hands a Scratch to exactly one run at a time.
+//
+// Ownership discipline: a buffer obtained from a pool belongs to the
+// caller until it is Put back, at which point any retained reference is a
+// bug. SetDebug(true) turns Put into poison-on-free — recycled elements
+// are overwritten with a sentinel — so aliasing bugs change simulation
+// results and are caught by the differential oracles instead of silently
+// reading stale data.
+package arena
+
+import "sync/atomic"
+
+// debugPoison gates poison-on-free across all pools in the process. It is
+// atomic so tests can flip it around runs executing on other goroutines.
+var debugPoison atomic.Bool
+
+// SetDebug enables or disables poison-on-free for every pool.
+func SetDebug(on bool) { debugPoison.Store(on) }
+
+// Debug reports whether poison-on-free is active.
+func Debug() bool { return debugPoison.Load() }
+
+// Deque is a growable ring-buffer double-ended queue. Pushing beyond the
+// current capacity grows the buffer; afterwards the storage is stable, so
+// a queue that has reached its high-water mark never allocates again.
+// The zero value is ready to use.
+type Deque[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (q *Deque[T]) Len() int { return q.n }
+
+// Cap returns the current storage capacity.
+func (q *Deque[T]) Cap() int { return len(q.buf) }
+
+// PushBack appends v at the tail.
+func (q *Deque[T]) PushBack(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// PushFront prepends v at the head, so the next PopFront returns it.
+func (q *Deque[T]) PushFront(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = v
+	q.n++
+}
+
+// PopFront removes and returns the head element. The second result is
+// false when the deque is empty.
+func (q *Deque[T]) PopFront() (T, bool) {
+	var zero T
+	if q.n == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release references for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v, true
+}
+
+// Front returns the head element without removing it.
+func (q *Deque[T]) Front() (T, bool) {
+	var zero T
+	if q.n == 0 {
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th element from the head (0 = front). It panics when i
+// is out of range, matching slice indexing.
+func (q *Deque[T]) At(i int) T {
+	if i < 0 || i >= q.n {
+		panic("arena: Deque index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Reset empties the deque, keeping the storage for reuse. Retained
+// element references are zeroed so pooled deques do not pin memory.
+func (q *Deque[T]) Reset() {
+	var zero T
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head, q.n = 0, 0
+}
+
+func (q *Deque[T]) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = buf, 0
+}
+
+// SlicePool is a LIFO free-list of []T buffers. Get returns a length-zero
+// slice (nil until the pool has seen a Put), so callers append as usual;
+// once the working set of buffer sizes has been seen, the append never
+// grows and the loop is allocation-free.
+//
+// A nil *SlicePool is valid: Get returns nil and Put discards, degrading
+// to plain allocation. This lets components take an optional pool without
+// branching at every call site.
+type SlicePool[T any] struct {
+	free   [][]T
+	poison T
+}
+
+// NewSlicePool returns a pool whose debug mode overwrites recycled
+// elements with the given poison value.
+func NewSlicePool[T any](poison T) *SlicePool[T] {
+	return &SlicePool[T]{poison: poison}
+}
+
+// Get returns an empty slice, recycling a previously Put buffer when one
+// is available.
+func (p *SlicePool[T]) Get() []T {
+	if p == nil || len(p.free) == 0 {
+		return nil
+	}
+	s := p.free[len(p.free)-1]
+	p.free[len(p.free)-1] = nil
+	p.free = p.free[:len(p.free)-1]
+	return s
+}
+
+// Put returns a buffer to the pool. The caller must not use s afterwards.
+// Zero-capacity (including nil) buffers are discarded. In debug mode the
+// live elements are poisoned first, so a retained alias reads sentinel
+// data instead of whatever the next Get writes.
+func (p *SlicePool[T]) Put(s []T) {
+	if p == nil || cap(s) == 0 {
+		return
+	}
+	if debugPoison.Load() {
+		for i := range s {
+			s[i] = p.poison
+		}
+	}
+	p.free = append(p.free, s[:0])
+}
+
+// U64Set is an open-addressed set of uint64 keys with linear probing and
+// backward-shift deletion. Zero is a valid key (tracked out of band). The
+// zero value is ready to use; Clear keeps the table for reuse, so a set
+// that has reached its high-water mark never allocates again.
+type U64Set struct {
+	table   []uint64 // 0 marks an empty slot
+	n       int      // non-zero keys stored
+	hasZero bool
+}
+
+// NewU64Set returns a set pre-sized for n keys.
+func NewU64Set(n int) *U64Set {
+	s := &U64Set{}
+	if n > 0 {
+		s.rehash(tableSizeFor(n))
+	}
+	return s
+}
+
+// Len returns the number of stored keys.
+func (s *U64Set) Len() int {
+	if s.hasZero {
+		return s.n + 1
+	}
+	return s.n
+}
+
+// Contains reports whether k is in the set.
+func (s *U64Set) Contains(k uint64) bool {
+	if k == 0 {
+		return s.hasZero
+	}
+	if len(s.table) == 0 {
+		return false
+	}
+	mask := uint64(len(s.table) - 1)
+	for i := hash64(k) & mask; ; i = (i + 1) & mask {
+		switch s.table[i] {
+		case k:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+// Add inserts k, reporting whether it was absent.
+func (s *U64Set) Add(k uint64) bool {
+	if k == 0 {
+		added := !s.hasZero
+		s.hasZero = true
+		return added
+	}
+	if 2*(s.n+1) > len(s.table) {
+		s.rehash(tableSizeFor(s.n + 1))
+	}
+	mask := uint64(len(s.table) - 1)
+	for i := hash64(k) & mask; ; i = (i + 1) & mask {
+		switch s.table[i] {
+		case k:
+			return false
+		case 0:
+			s.table[i] = k
+			s.n++
+			return true
+		}
+	}
+}
+
+// Remove deletes k, reporting whether it was present. Deletion uses
+// backward shifting, so the table never accumulates tombstones.
+func (s *U64Set) Remove(k uint64) bool {
+	if k == 0 {
+		had := s.hasZero
+		s.hasZero = false
+		return had
+	}
+	if len(s.table) == 0 {
+		return false
+	}
+	mask := uint64(len(s.table) - 1)
+	i := hash64(k) & mask
+	for {
+		switch s.table[i] {
+		case k:
+			goto found
+		case 0:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+found:
+	// Backward-shift: pull forward any displaced keys in the probe chain.
+	j := i
+	for {
+		j = (j + 1) & mask
+		k2 := s.table[j]
+		if k2 == 0 {
+			break
+		}
+		home := hash64(k2) & mask
+		// k2 may move into slot i iff its home position does not lie
+		// strictly between i (exclusive) and j (inclusive) in ring order.
+		if (j-home)&mask >= (j-i)&mask {
+			s.table[i] = k2
+			i = j
+		}
+	}
+	s.table[i] = 0
+	s.n--
+	return true
+}
+
+// Clear empties the set, keeping the table for reuse.
+func (s *U64Set) Clear() {
+	for i := range s.table {
+		s.table[i] = 0
+	}
+	s.n = 0
+	s.hasZero = false
+}
+
+func (s *U64Set) rehash(size int) {
+	old := s.table
+	s.table = make([]uint64, size)
+	mask := uint64(size - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		for i := hash64(k) & mask; ; i = (i + 1) & mask {
+			if s.table[i] == 0 {
+				s.table[i] = k
+				break
+			}
+		}
+	}
+}
+
+// tableSizeFor returns the smallest power of two holding n keys at no
+// more than 50% load.
+func tableSizeFor(n int) int {
+	size := 8
+	for size < 2*n {
+		size *= 2
+	}
+	return size
+}
+
+// hash64 is Fibonacci hashing: a single multiply by 2^64/phi spreads
+// consecutive keys (block numbers, packet IDs) across the table.
+func hash64(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }

@@ -1,0 +1,218 @@
+package arena
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDequeFIFO(t *testing.T) {
+	var q Deque[int]
+	for i := 0; i < 100; i++ {
+		q.PushBack(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.At(i); got != i {
+			t.Fatalf("At(%d) = %d", i, got)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.PopFront(); ok {
+		t.Fatal("PopFront on empty deque reported ok")
+	}
+}
+
+func TestDequePushFront(t *testing.T) {
+	var q Deque[int]
+	q.PushBack(2)
+	q.PushFront(1)
+	q.PushBack(3)
+	q.PushFront(0)
+	for want := 0; want <= 3; want++ {
+		v, ok := q.PopFront()
+		if !ok || v != want {
+			t.Fatalf("PopFront = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+// TestDequeWrapAround exercises the ring buffer across many head
+// positions against a plain-slice oracle.
+func TestDequeWrapAround(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q Deque[int]
+	var oracle []int
+	for step := 0; step < 10_000; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(oracle) == 0:
+			v := rng.Int()
+			q.PushBack(v)
+			oracle = append(oracle, v)
+		case op == 1:
+			v := rng.Int()
+			q.PushFront(v)
+			oracle = append([]int{v}, oracle...)
+		default:
+			v, ok := q.PopFront()
+			if !ok || v != oracle[0] {
+				t.Fatalf("step %d: PopFront = %d,%v, want %d", step, v, ok, oracle[0])
+			}
+			oracle = oracle[1:]
+		}
+		if q.Len() != len(oracle) {
+			t.Fatalf("step %d: Len = %d, want %d", step, q.Len(), len(oracle))
+		}
+	}
+}
+
+func TestDequeResetKeepsStorage(t *testing.T) {
+	var q Deque[int]
+	for i := 0; i < 64; i++ {
+		q.PushBack(i)
+	}
+	capBefore := q.Cap()
+	q.Reset()
+	if q.Len() != 0 || q.Cap() != capBefore {
+		t.Fatalf("after Reset: Len=%d Cap=%d, want 0 and %d", q.Len(), q.Cap(), capBefore)
+	}
+	// Refilling to the high-water mark must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.PushBack(i)
+		}
+		q.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state deque cycle allocates %v/op", allocs)
+	}
+}
+
+func TestDequeResetReleasesReferences(t *testing.T) {
+	var q Deque[*int]
+	v := new(int)
+	q.PushBack(v)
+	q.Reset()
+	q.PushBack(new(int))
+	if got, _ := q.PopFront(); got == v {
+		t.Fatal("Reset leaked a stale element")
+	}
+}
+
+func TestSlicePoolRecycles(t *testing.T) {
+	p := NewSlicePool[int](-1)
+	s := p.Get()
+	if s != nil {
+		t.Fatalf("Get on fresh pool = %v, want nil", s)
+	}
+	s = append(s, 1, 2, 3)
+	p.Put(s)
+	r := p.Get()
+	if cap(r) < 3 || len(r) != 0 {
+		t.Fatalf("recycled slice len=%d cap=%d, want 0 and >=3", len(r), cap(r))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b := p.Get()
+		b = append(b, 1, 2)
+		p.Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pool cycle allocates %v/op", allocs)
+	}
+}
+
+func TestSlicePoolNilReceiver(t *testing.T) {
+	var p *SlicePool[int]
+	if got := p.Get(); got != nil {
+		t.Fatalf("nil pool Get = %v", got)
+	}
+	p.Put([]int{1}) // must not panic
+}
+
+func TestSlicePoolPoisonOnFree(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+	p := NewSlicePool[int](-7)
+	s := append(p.Get(), 10, 20, 30)
+	alias := s
+	p.Put(s)
+	for i, v := range alias {
+		if v != -7 {
+			t.Fatalf("alias[%d] = %d after Put, want poison -7", i, v)
+		}
+	}
+}
+
+func TestU64SetAgainstMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var s U64Set
+	oracle := map[uint64]struct{}{}
+	for step := 0; step < 50_000; step++ {
+		// Small key space forces heavy add/remove collisions, including
+		// key 0 and long probe chains.
+		k := uint64(rng.Intn(300))
+		if rng.Intn(2) == 0 {
+			_, had := oracle[k]
+			oracle[k] = struct{}{}
+			if got := s.Add(k); got != !had {
+				t.Fatalf("step %d: Add(%d) = %v, want %v", step, k, got, !had)
+			}
+		} else {
+			_, had := oracle[k]
+			delete(oracle, k)
+			if got := s.Remove(k); got != had {
+				t.Fatalf("step %d: Remove(%d) = %v, want %v", step, k, got, had)
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("step %d: Len = %d, want %d", step, s.Len(), len(oracle))
+		}
+		probe := uint64(rng.Intn(300))
+		if _, had := oracle[probe]; s.Contains(probe) != had {
+			t.Fatalf("step %d: Contains(%d) = %v, want %v", step, probe, s.Contains(probe), had)
+		}
+	}
+}
+
+func TestU64SetClearKeepsTable(t *testing.T) {
+	s := NewU64Set(64)
+	for i := uint64(0); i < 64; i++ {
+		s.Add(i)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", s.Len())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 64; i++ {
+			s.Add(i)
+		}
+		s.Clear()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state set cycle allocates %v/op", allocs)
+	}
+}
+
+// TestSlicePoolNoAliasing checks that two live Gets never share storage:
+// writes through one buffer must not show through the other.
+func TestSlicePoolNoAliasing(t *testing.T) {
+	p := NewSlicePool[int](-1)
+	p.Put(make([]int, 0, 8))
+	p.Put(make([]int, 0, 8))
+	a := append(p.Get(), 1, 2, 3)
+	b := append(p.Get(), 4, 5, 6)
+	if &a[0] == &b[0] {
+		t.Fatal("two live buffers alias the same storage")
+	}
+	a[0] = 99
+	if b[0] != 4 {
+		t.Fatalf("write through a corrupted b: %v", b)
+	}
+}

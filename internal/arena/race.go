@@ -1,0 +1,9 @@
+//go:build race
+
+package arena
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// alloc-regression gates skip under -race: the detector's shadow memory
+// changes allocation counts, so AllocsPerRun ceilings only hold on
+// normal builds.
+const RaceEnabled = true

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"github.com/pacsim/pac/internal/arena"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/telemetry"
 )
@@ -35,7 +36,11 @@ type Hierarchy struct {
 	// is pending must still emit a memory request — downstream MSHR
 	// merging (or PAC coalescing) is what absorbs it, exactly the
 	// behaviour the paper's MSHR-based DMC baseline relies on.
-	pending map[uint64]struct{}
+	pending *arena.U64Set
+	// wbBuf backs Outcome.WriteBacks; it is reused by the next Access or
+	// Prefetch call, so callers must consume (or copy) the slice before
+	// driving the hierarchy again.
+	wbBuf []mem.Request
 	// Stats.
 	Accesses    int64 // data accesses observed (fences excluded)
 	L1Hits      int64
@@ -64,29 +69,53 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	if cfg.Cores <= 0 {
 		panic("cache: hierarchy needs at least one core")
 	}
-	h := &Hierarchy{llc: New(cfg.LLC), pending: make(map[uint64]struct{})}
+	h := &Hierarchy{llc: New(cfg.LLC), pending: arena.NewU64Set(0)}
 	for i := 0; i < cfg.Cores; i++ {
 		h.l1 = append(h.l1, New(cfg.L1))
 	}
 	return h
 }
 
+// UseScratch installs a recycled pending-fill set (cleared for use), so a
+// fresh hierarchy can reuse a previous run's table instead of growing its
+// own. Must be called before the first access.
+func (h *Hierarchy) UseScratch(pending *arena.U64Set) {
+	if pending != nil {
+		pending.Clear()
+		h.pending = pending
+	}
+}
+
+// TakeScratch surrenders the pending set for recycling; the hierarchy
+// must not be used afterwards.
+func (h *Hierarchy) TakeScratch() *arena.U64Set {
+	s := h.pending
+	h.pending = nil
+	return s
+}
+
 // Prefetch installs the block containing addr in the LLC as an in-flight
 // fill, unless it is already resident or pending. It returns the memory
-// request to dispatch (marked Prefetch) and any dirty eviction it caused.
+// request to dispatch (marked Prefetch) and any dirty eviction it caused;
+// the wbs slice is reused by the next Access or Prefetch call.
 func (h *Hierarchy) Prefetch(addr uint64, core, proc int, cycle int64, ids func() uint64) (miss mem.Request, wbs []mem.Request, ok bool) {
 	blk := mem.BlockNumber(addr)
-	if _, inflight := h.pending[blk]; inflight || h.llc.Contains(addr) {
+	if h.pending.Contains(blk) || h.llc.Contains(addr) {
 		return mem.Request{}, nil, false
 	}
+	h.wbBuf = h.wbBuf[:0]
 	if _, ev := h.llc.Access(addr, false); ev.Valid && ev.Dirty {
 		h.WriteBacks++
-		wbs = append(wbs, mem.Request{
+		h.wbBuf = append(h.wbBuf, mem.Request{
 			ID: ids(), Addr: ev.Addr, Size: mem.BlockSize,
 			Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
 		})
 	}
-	h.pending[blk] = struct{}{}
+	wbs = h.wbBuf
+	if len(wbs) == 0 {
+		wbs = nil
+	}
+	h.pending.Add(blk)
 	return mem.Request{
 		ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
 		Op: mem.OpLoad, Core: core, Proc: proc, Issue: cycle, Prefetch: true,
@@ -97,11 +126,11 @@ func (h *Hierarchy) Prefetch(addr uint64, core, proc int, cycle int64, ids func(
 // block number completed; subsequent LLC hits on it are plain hits. It is
 // idempotent.
 func (h *Hierarchy) FillDone(blockNumber uint64) {
-	delete(h.pending, blockNumber)
+	h.pending.Remove(blockNumber)
 }
 
 // PendingFills returns the number of blocks with in-flight fills.
-func (h *Hierarchy) PendingFills() int { return len(h.pending) }
+func (h *Hierarchy) PendingFills() int { return h.pending.Len() }
 
 // L1 returns core i's private cache (for tests and stats).
 func (h *Hierarchy) L1(i int) *Cache { return h.l1[i] }
@@ -121,7 +150,8 @@ type Outcome struct {
 	// MissValid reports whether Miss is populated.
 	MissValid bool
 	// WriteBacks are dirty LLC evictions (block-granular stores) that
-	// must also go to memory.
+	// must also go to memory. The slice is reused by the hierarchy's
+	// next Access or Prefetch call; consume it before driving it again.
 	WriteBacks []mem.Request
 }
 
@@ -155,13 +185,14 @@ func (h *Hierarchy) Access(core int, addr uint64, size uint32, op mem.Op, proc i
 		// dirty line of its own, that one goes to memory.
 		if _, llcEv := h.llc.Access(ev.Addr, true); llcEv.Valid && llcEv.Dirty {
 			h.WriteBacks++
-			return h.fill(core, addr, write, proc, cycle, ids, []mem.Request{{
+			h.wbBuf = append(h.wbBuf[:0], mem.Request{
 				ID: ids(), Addr: llcEv.Addr, Size: mem.BlockSize,
 				Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
-			}})
+			})
+			return h.fill(core, addr, write, proc, cycle, ids, h.wbBuf)
 		}
 	}
-	return h.fill(core, addr, write, proc, cycle, ids, nil)
+	return h.fill(core, addr, write, proc, cycle, ids, h.wbBuf[:0])
 }
 
 // fill services an L1 miss from the LLC, recording an LLC miss request
@@ -175,6 +206,10 @@ func (h *Hierarchy) fill(core int, addr uint64, write bool, proc int, cycle int6
 			Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
 		})
 	}
+	h.wbBuf = wbs[:0] // retain any growth for the next access
+	if len(wbs) == 0 {
+		wbs = nil
+	}
 	blk := mem.BlockNumber(addr)
 	// Write-allocate: a store miss fetches its line with a READ; the
 	// store itself reaches memory later as a write-back when the dirty
@@ -183,7 +218,7 @@ func (h *Hierarchy) fill(core int, addr uint64, write bool, proc int, cycle int6
 	// carry OpLoad, which also lets them coalesce with prefetches.
 	op := mem.OpLoad
 	if hit {
-		if _, inflight := h.pending[blk]; !inflight {
+		if !h.pending.Contains(blk) {
 			h.LLCHits++
 			return Outcome{Level: 2, WriteBacks: wbs}
 		}
@@ -200,7 +235,7 @@ func (h *Hierarchy) fill(core int, addr uint64, write bool, proc int, cycle int6
 		}
 	}
 	h.LLCMisses++
-	h.pending[blk] = struct{}{}
+	h.pending.Add(blk)
 	return Outcome{
 		MissValid: true,
 		Miss: mem.Request{

@@ -1,0 +1,96 @@
+package coalesce
+
+// Allocation gates for the steady-state hot path: once a pipeline has
+// been driven through a warm-up round, pushing further traffic through
+// it must not allocate at all — the deques and the parent free-list
+// absorb everything. testing.AllocsPerRun is the oracle; the gates are
+// skipped under the race detector, whose instrumentation allocates.
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/arena"
+	"github.com/pacsim/pac/internal/mem"
+)
+
+// driveSteady pushes one round of mixed traffic through a pipeline and
+// recycles every popped packet's Parents, exactly as the simulation
+// driver does.
+func driveSteady(p Pipeline, pool *arena.SlicePool[mem.Request], id *uint64) {
+	for i := 0; i < 64; i++ {
+		*id++
+		r := mem.Request{
+			ID:   *id,
+			Addr: mem.BlockAddr(uint64(i%4+1), uint(i%64)),
+			Size: mem.BlockSize,
+			Op:   mem.OpLoad,
+		}
+		for !p.Enqueue(r, false) {
+			p.Tick()
+			for {
+				pkt, ok := p.Pop()
+				if !ok {
+					break
+				}
+				pool.Put(pkt.Parents)
+			}
+		}
+	}
+	for i := 0; i < 200 && !p.Drained(); i++ {
+		p.Tick()
+		for {
+			pkt, ok := p.Pop()
+			if !ok {
+				break
+			}
+			pool.Put(pkt.Parents)
+		}
+	}
+}
+
+func TestPipelinesSteadyStateAllocFree(t *testing.T) {
+	if arena.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	newIDs := func() (*uint64, func() uint64) {
+		var n uint64
+		return &n, func() uint64 { n++; return n }
+	}
+	cases := []struct {
+		name string
+		mk   func() (Pipeline, *arena.SlicePool[mem.Request], *uint64)
+	}{
+		{"passthrough", func() (Pipeline, *arena.SlicePool[mem.Request], *uint64) {
+			pool := arena.NewSlicePool[mem.Request](mem.Request{})
+			n, ids := newIDs()
+			p := NewPassthrough(16, ids)
+			p.UseParentPool(pool)
+			return p, pool, n
+		}},
+		{"sortnet", func() (Pipeline, *arena.SlicePool[mem.Request], *uint64) {
+			pool := arena.NewSlicePool[mem.Request](mem.Request{})
+			n, ids := newIDs()
+			p := NewSortingCoalescer(16, 8, 4, ids)
+			p.UseParentPool(pool)
+			return p, pool, n
+		}},
+		{"rowbuf", func() (Pipeline, *arena.SlicePool[mem.Request], *uint64) {
+			pool := arena.NewSlicePool[mem.Request](mem.Request{})
+			n, ids := newIDs()
+			p := NewRowBufferCoalescer(256, 16, 8, ids)
+			p.UseParentPool(pool)
+			return p, pool, n
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, pool, id := tc.mk()
+			for i := 0; i < 4; i++ { // warm-up: grow deques and free-list
+				driveSteady(p, pool, id)
+			}
+			if got := testing.AllocsPerRun(20, func() { driveSteady(p, pool, id) }); got != 0 {
+				t.Errorf("steady-state round allocates %.1f times, want 0", got)
+			}
+		})
+	}
+}

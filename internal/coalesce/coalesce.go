@@ -11,6 +11,7 @@ package coalesce
 import (
 	"strings"
 
+	"github.com/pacsim/pac/internal/arena"
 	"github.com/pacsim/pac/internal/core"
 	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/mem"
@@ -135,11 +136,12 @@ func (a PACAdapter) OutLen() int { return a.MAQLen() }
 // request per cycle (mirroring PAC's intake rate so timing comparisons are
 // apples-to-apples).
 type Passthrough struct {
-	depth  int
-	inQ    []mem.Request
-	outQ   []mem.Coalesced
-	nextID func() uint64
-	now    int64
+	depth   int
+	inQ     arena.Deque[mem.Request]
+	outQ    arena.Deque[mem.Coalesced]
+	parents *arena.SlicePool[mem.Request]
+	nextID  func() uint64
+	now     int64
 	// RawIn and PacketsOut mirror the PAC counters.
 	RawIn, PacketsOut int64
 	// InputStalls counts rejected Enqueues.
@@ -155,67 +157,68 @@ func NewPassthrough(depth int, ids func() uint64) *Passthrough {
 	return &Passthrough{depth: depth, nextID: ids}
 }
 
+// UseParentPool installs the free-list backing emitted packets' Parents
+// slices. The driver recycles a packet's Parents into the same pool once
+// the packet is admitted to the MSHR file, closing the loop.
+func (p *Passthrough) UseParentPool(pool *arena.SlicePool[mem.Request]) {
+	p.parents = pool
+}
+
 // Enqueue implements Pipeline.
 func (p *Passthrough) Enqueue(r mem.Request, wb bool) bool {
-	if len(p.inQ) >= p.depth {
+	if p.inQ.Len() >= p.depth {
 		p.InputStalls++
 		return false
 	}
-	p.inQ = append(p.inQ, r)
+	p.inQ.PushBack(r)
 	return true
 }
 
 // Tick implements Pipeline: move one request per cycle to the output.
 func (p *Passthrough) Tick() {
 	p.now++
-	if len(p.inQ) == 0 {
+	r, ok := p.inQ.PopFront()
+	if !ok {
 		return
 	}
-	r := p.inQ[0]
-	p.inQ = p.inQ[1:]
 	if r.Op == mem.OpFence {
 		return // nothing buffered; fences are no-ops here
 	}
 	p.RawIn++
 	p.PacketsOut++
 	r.Issue = p.now
-	p.outQ = append(p.outQ, mem.Coalesced{
+	p.outQ.PushBack(mem.Coalesced{
 		ID:        p.nextID(),
 		Addr:      mem.BlockAlign(r.Addr),
 		Size:      mem.BlockSize,
 		Op:        r.Op,
-		Parents:   []mem.Request{r},
+		Parents:   append(p.parents.Get(), r),
 		Assembled: p.now,
 	})
 }
 
 // Pop implements Pipeline.
 func (p *Passthrough) Pop() (mem.Coalesced, bool) {
-	if len(p.outQ) == 0 {
-		return mem.Coalesced{}, false
-	}
-	pkt := p.outQ[0]
-	p.outQ = p.outQ[1:]
-	return pkt, true
+	return p.outQ.PopFront()
 }
 
 // PushFront returns a popped packet to the head of the output queue (used
 // by the driver when the MSHR file is full).
 func (p *Passthrough) PushFront(pkt mem.Coalesced) {
-	p.outQ = append([]mem.Coalesced{pkt}, p.outQ...)
+	p.outQ.PushFront(pkt)
 }
 
 // Drained implements Pipeline.
-func (p *Passthrough) Drained() bool { return len(p.inQ)+len(p.outQ) == 0 }
+func (p *Passthrough) Drained() bool { return p.inQ.Len()+p.outQ.Len() == 0 }
 
 // OutLen implements Pipeline.
-func (p *Passthrough) OutLen() int { return len(p.outQ) }
+func (p *Passthrough) OutLen() int { return p.outQ.Len() }
 
 // NextWake implements Pipeline: Tick only ever moves input-queue entries,
 // so an empty input queue means every tick is inert. Output packets wait
 // for the driver's dispatcher and need no wake.
 func (p *Passthrough) NextWake(now int64) int64 {
-	if len(p.inQ) > 0 {
+	if p.inQ.Len() > 0 {
 		return now + 1
 	}
 	return engine.Never
@@ -223,7 +226,7 @@ func (p *Passthrough) NextWake(now int64) int64 {
 
 // SkipTo implements Pipeline.
 func (p *Passthrough) SkipTo(now int64) {
-	if len(p.inQ) > 0 {
+	if p.inQ.Len() > 0 {
 		panic("coalesce: SkipTo over a backlogged passthrough")
 	}
 	if now > p.now {

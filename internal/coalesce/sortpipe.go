@@ -1,6 +1,7 @@
 package coalesce
 
 import (
+	"github.com/pacsim/pac/internal/arena"
 	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/sortnet"
@@ -27,7 +28,9 @@ type SortingCoalescer struct {
 	now        int64
 	batch      []mem.Request
 	batchStart int64
-	outQ       []mem.Coalesced
+	outQ       arena.Deque[mem.Coalesced]
+	parents    *arena.SlicePool[mem.Request]
+	scratch    *sortnet.BatchScratch
 
 	// RawIn, PacketsOut and InputStalls mirror the PAC counters;
 	// Comparisons counts compare-exchange activations in the network.
@@ -50,7 +53,15 @@ func NewSortingCoalescer(width int, timeout int64, maxBlocks int, ids func() uin
 		maxBlocks: maxBlocks,
 		net:       sortnet.NewBitonic(),
 		nextID:    ids,
+		scratch:   sortnet.NewBatchScratch(nil),
 	}
+}
+
+// UseParentPool installs the free-list backing emitted packets' Parents
+// slices; the driver recycles Parents there once packets are admitted.
+func (s *SortingCoalescer) UseParentPool(pool *arena.SlicePool[mem.Request]) {
+	s.parents = pool
+	s.scratch = sortnet.NewBatchScratch(pool)
 }
 
 // Enqueue implements Pipeline.
@@ -67,12 +78,12 @@ func (s *SortingCoalescer) Enqueue(r mem.Request, wb bool) bool {
 		// Atomics pass through unaggregated.
 		s.RawIn++
 		s.PacketsOut++
-		s.outQ = append(s.outQ, mem.Coalesced{
+		s.outQ.PushBack(mem.Coalesced{
 			ID:        s.nextID(),
 			Addr:      mem.BlockAlign(r.Addr),
 			Size:      mem.BlockSize,
 			Op:        mem.OpAtomic,
-			Parents:   []mem.Request{r},
+			Parents:   append(s.parents.Get(), r),
 			Assembled: s.now,
 			Bypassed:  true,
 		})
@@ -99,40 +110,37 @@ func (s *SortingCoalescer) Tick() {
 	}
 }
 
-// flush sorts and merges the current batch.
+// flush sorts and merges the current batch. The scratch-built packets
+// are copied into the output deque before the next flush reuses the
+// scratch, so the aliasing window stays inside this method.
 func (s *SortingCoalescer) flush() {
 	if len(s.batch) == 0 {
 		return
 	}
-	pkts := sortnet.CoalesceBatch(s.net, s.batch, s.maxBlocks, s.nextID)
+	pkts := sortnet.CoalesceBatchInto(s.net, s.batch, s.maxBlocks, s.nextID, s.scratch)
 	for i := range pkts {
 		pkts[i].Assembled = s.now
+		s.outQ.PushBack(pkts[i])
 	}
-	s.outQ = append(s.outQ, pkts...)
 	s.PacketsOut += int64(len(pkts))
 	s.batch = s.batch[:0]
 }
 
 // Pop implements Pipeline.
 func (s *SortingCoalescer) Pop() (mem.Coalesced, bool) {
-	if len(s.outQ) == 0 {
-		return mem.Coalesced{}, false
-	}
-	pkt := s.outQ[0]
-	s.outQ = s.outQ[1:]
-	return pkt, true
+	return s.outQ.PopFront()
 }
 
 // PushFront returns a popped packet to the head of the output queue.
 func (s *SortingCoalescer) PushFront(pkt mem.Coalesced) {
-	s.outQ = append([]mem.Coalesced{pkt}, s.outQ...)
+	s.outQ.PushFront(pkt)
 }
 
 // Drained implements Pipeline.
-func (s *SortingCoalescer) Drained() bool { return len(s.batch)+len(s.outQ) == 0 }
+func (s *SortingCoalescer) Drained() bool { return len(s.batch)+s.outQ.Len() == 0 }
 
 // OutLen implements Pipeline.
-func (s *SortingCoalescer) OutLen() int { return len(s.outQ) }
+func (s *SortingCoalescer) OutLen() int { return s.outQ.Len() }
 
 // NextWake implements Pipeline: a full batch sorts on the next tick, a
 // partial batch waits out its timeout, and an empty batch makes every
@@ -177,10 +185,12 @@ type RowBufferCoalescer struct {
 	timeout  int64
 	nextID   func() uint64
 
-	now   int64
-	rows  []rowSlot
-	outQ  []mem.Coalesced
-	order uint64
+	now     int64
+	rows    []rowSlot
+	outQ    arena.Deque[mem.Coalesced]
+	order   uint64
+	parents *arena.SlicePool[mem.Request]
+	present []bool // per-flush block bitmap, reused
 
 	// RawIn, PacketsOut and InputStalls mirror the PAC counters.
 	RawIn, PacketsOut, InputStalls int64
@@ -207,7 +217,14 @@ func NewRowBufferCoalescer(rowBytes, slots int, timeout int64, ids func() uint64
 		timeout:  timeout,
 		nextID:   ids,
 		rows:     make([]rowSlot, slots),
+		present:  make([]bool, rowBytes/mem.BlockSize),
 	}
+}
+
+// UseParentPool installs the free-list backing emitted packets' Parents
+// slices and the per-slot request buffers.
+func (r *RowBufferCoalescer) UseParentPool(pool *arena.SlicePool[mem.Request]) {
+	r.parents = pool
 }
 
 // Enqueue implements Pipeline.
@@ -221,7 +238,7 @@ func (r *RowBufferCoalescer) Enqueue(q mem.Request, wb bool) bool {
 	if q.Op == mem.OpAtomic {
 		// Atomics pass through unaggregated.
 		r.RawIn++
-		r.outQ = append(r.outQ, r.single(q))
+		r.outQ.PushBack(r.single(q))
 		r.PacketsOut++
 		return true
 	}
@@ -254,7 +271,7 @@ func (r *RowBufferCoalescer) Enqueue(q mem.Request, wb bool) bool {
 	r.RawIn++
 	q.Issue = r.now
 	r.order++
-	r.rows[free] = rowSlot{valid: true, row: row, op: q.Op, reqs: []mem.Request{q}, start: r.now, birth: r.order}
+	r.rows[free] = rowSlot{valid: true, row: row, op: q.Op, reqs: append(r.parents.Get(), q), start: r.now, birth: r.order}
 	return true
 }
 
@@ -265,7 +282,7 @@ func (r *RowBufferCoalescer) single(q mem.Request) mem.Coalesced {
 		Addr:      mem.BlockAlign(q.Addr),
 		Size:      mem.BlockSize,
 		Op:        q.Op,
-		Parents:   []mem.Request{q},
+		Parents:   append(r.parents.Get(), q),
 		Assembled: r.now,
 		Bypassed:  true,
 	}
@@ -277,9 +294,13 @@ func (r *RowBufferCoalescer) flushSlot(i int) {
 	if !s.valid {
 		return
 	}
-	// Build the block bitmap of the row and emit contiguous runs.
+	// Build the block bitmap of the row and emit contiguous runs. The
+	// bitmap is reused across flushes, so clear it first.
 	blocksPerRow := r.rowBytes / mem.BlockSize
-	present := make([]bool, blocksPerRow)
+	present := r.present
+	for b := range present {
+		present[b] = false
+	}
 	rowBase := s.row * uint64(r.rowBytes)
 	for _, q := range s.reqs {
 		present[(q.Addr-rowBase)/mem.BlockSize] = true
@@ -298,6 +319,7 @@ func (r *RowBufferCoalescer) flushSlot(i int) {
 			Addr:      rowBase + uint64(b*mem.BlockSize),
 			Size:      uint32(run * mem.BlockSize),
 			Op:        s.op,
+			Parents:   r.parents.Get(),
 			Assembled: r.now,
 		}
 		for _, q := range s.reqs {
@@ -307,10 +329,11 @@ func (r *RowBufferCoalescer) flushSlot(i int) {
 			}
 		}
 		pkt.Bypassed = len(pkt.Parents) == 1 && run == 1
-		r.outQ = append(r.outQ, pkt)
+		r.outQ.PushBack(pkt)
 		r.PacketsOut++
 		b += run
 	}
+	r.parents.Put(s.reqs)
 	*s = rowSlot{}
 }
 
@@ -326,22 +349,17 @@ func (r *RowBufferCoalescer) Tick() {
 
 // Pop implements Pipeline.
 func (r *RowBufferCoalescer) Pop() (mem.Coalesced, bool) {
-	if len(r.outQ) == 0 {
-		return mem.Coalesced{}, false
-	}
-	pkt := r.outQ[0]
-	r.outQ = r.outQ[1:]
-	return pkt, true
+	return r.outQ.PopFront()
 }
 
 // PushFront returns a popped packet to the head of the output queue.
 func (r *RowBufferCoalescer) PushFront(pkt mem.Coalesced) {
-	r.outQ = append([]mem.Coalesced{pkt}, r.outQ...)
+	r.outQ.PushFront(pkt)
 }
 
 // Drained implements Pipeline.
 func (r *RowBufferCoalescer) Drained() bool {
-	if len(r.outQ) > 0 {
+	if r.outQ.Len() > 0 {
 		return false
 	}
 	for i := range r.rows {
@@ -353,7 +371,7 @@ func (r *RowBufferCoalescer) Drained() bool {
 }
 
 // OutLen implements Pipeline.
-func (r *RowBufferCoalescer) OutLen() int { return len(r.outQ) }
+func (r *RowBufferCoalescer) OutLen() int { return r.outQ.Len() }
 
 // NextWake implements Pipeline: the only self-scheduled work is flushing
 // aggregation slots whose timeout expires.

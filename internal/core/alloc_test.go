@@ -1,0 +1,61 @@
+package core
+
+// Allocation gate for the full PAC pipeline: with a parent pool
+// installed and every stage queue warmed up, a sustained
+// enqueue/tick/pop cycle must not allocate.
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/arena"
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func TestPACSteadyStateAllocFree(t *testing.T) {
+	if arena.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	c := newTestPAC(nil)
+	pool := arena.NewSlicePool[mem.Request](mem.Request{})
+	c.UseParentPool(pool)
+	var id uint64
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			id++
+			op := mem.OpLoad
+			if i%5 == 0 {
+				op = mem.OpStore
+			}
+			r := req(id, mem.BlockAddr(uint64(i%6+1), uint(i%64)), op)
+			for !c.Enqueue(r, op == mem.OpStore) {
+				c.Tick()
+				for {
+					pkt, ok := c.PopMAQ()
+					if !ok {
+						break
+					}
+					pool.Put(pkt.Parents)
+				}
+			}
+		}
+		for i := 0; i < 400 && !c.Drained(); i++ {
+			c.Tick()
+			for {
+				pkt, ok := c.PopMAQ()
+				if !ok {
+					break
+				}
+				pool.Put(pkt.Parents)
+			}
+		}
+		if !c.Drained() {
+			t.Fatal("pipeline failed to drain")
+		}
+	}
+	for i := 0; i < 4; i++ { // warm-up: grow stage deques and pools
+		cycle()
+	}
+	if got := testing.AllocsPerRun(20, cycle); got != 0 {
+		t.Errorf("steady-state cycle allocates %.1f times, want 0", got)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"github.com/pacsim/pac/internal/arena"
 	"github.com/pacsim/pac/internal/engine"
 	"github.com/pacsim/pac/internal/mem"
 )
@@ -71,19 +72,25 @@ type PAC struct {
 	now    int64
 	nextID func() uint64
 
-	missQ, wbQ []mem.Request
+	missQ, wbQ arena.Deque[mem.Request]
 	takeWB     bool // round-robin pointer between the input queues
 
 	streams []coalescingStream
 
-	stage2 []flushedStream // decoding (1 cycle, parallel across streams)
-	storeQ []chunkItem     // chunks awaiting the shared-bus buffer write
-	seqBuf []chunkItem     // the block sequence buffer (FIFO)
+	stage2 []flushedStream        // decoding (1 cycle, parallel across streams)
+	storeQ arena.Deque[chunkItem] // chunks awaiting the shared-bus buffer write
+	seqBuf arena.Deque[chunkItem] // the block sequence buffer (FIFO)
 
-	asm *asmJob
+	asm       asmJob
+	asmActive bool
 
-	bypassQ []mem.Coalesced // C=0 singles and atomics heading to the MAQ
-	maq     []mem.Coalesced
+	bypassQ arena.Deque[mem.Coalesced] // C=0 singles and atomics heading to the MAQ
+	maq     arena.Deque[mem.Coalesced]
+
+	// parents backs every request-holding slice in the pipeline (stream
+	// buffers, chunk items, packet Parents); the driver recycles admitted
+	// packets' Parents into the same pool.
+	parents *arena.SlicePool[mem.Request]
 
 	// MAQ fill-latency measurement state: a window opens when a packet
 	// enters an empty production window and closes after MAQDepth
@@ -119,6 +126,10 @@ func New(p Params, ids func() uint64) *PAC {
 	}
 }
 
+// UseParentPool installs the free-list backing the pipeline's request
+// slices and emitted packets' Parents.
+func (c *PAC) UseParentPool(pool *arena.SlicePool[mem.Request]) { c.parents = pool }
+
 // Params returns the configuration the PAC was built with.
 func (c *PAC) Params() Params { return c.p }
 
@@ -134,31 +145,26 @@ func (c *PAC) Enqueue(r mem.Request, wb bool) bool {
 	if wb {
 		q = &c.wbQ
 	}
-	if len(*q) >= c.p.InputQueueDepth {
+	if q.Len() >= c.p.InputQueueDepth {
 		c.Stats.InputStalls++
 		return false
 	}
-	*q = append(*q, r)
+	q.PushBack(r)
 	return true
 }
 
 // InputBacklog returns the number of requests waiting in the input queues.
-func (c *PAC) InputBacklog() int { return len(c.missQ) + len(c.wbQ) }
+func (c *PAC) InputBacklog() int { return c.missQ.Len() + c.wbQ.Len() }
 
 // MAQLen returns the current memory access queue depth.
-func (c *PAC) MAQLen() int { return len(c.maq) }
+func (c *PAC) MAQLen() int { return c.maq.Len() }
 
 // MAQEmpty reports whether the MAQ holds no packets.
-func (c *PAC) MAQEmpty() bool { return len(c.maq) == 0 }
+func (c *PAC) MAQEmpty() bool { return c.maq.Len() == 0 }
 
 // PopMAQ removes and returns the packet at the head of the MAQ.
 func (c *PAC) PopMAQ() (mem.Coalesced, bool) {
-	if len(c.maq) == 0 {
-		return mem.Coalesced{}, false
-	}
-	pkt := c.maq[0]
-	c.maq = c.maq[1:]
-	return pkt, true
+	return c.maq.PopFront()
 }
 
 // PushFrontMAQ returns a popped packet to the head of the MAQ, used by
@@ -166,16 +172,16 @@ func (c *PAC) PopMAQ() (mem.Coalesced, bool) {
 // losing its place. It bypasses the capacity check (the packet was just
 // popped, so the queue has room conceptually).
 func (c *PAC) PushFrontMAQ(pkt mem.Coalesced) {
-	c.maq = append([]mem.Coalesced{pkt}, c.maq...)
+	c.maq.PushFront(pkt)
 }
 
 // Drained reports whether no request is anywhere inside the coalescer
 // (input queues, streams, pipeline, MAQ). Used to terminate simulations.
 func (c *PAC) Drained() bool {
-	if len(c.missQ)+len(c.wbQ)+len(c.stage2)+len(c.storeQ)+len(c.seqBuf)+len(c.bypassQ)+len(c.maq) > 0 {
+	if c.missQ.Len()+c.wbQ.Len()+len(c.stage2)+c.storeQ.Len()+c.seqBuf.Len()+c.bypassQ.Len()+c.maq.Len() > 0 {
 		return false
 	}
-	if c.asm != nil {
+	if c.asmActive {
 		return false
 	}
 	for i := range c.streams {
@@ -191,8 +197,8 @@ func (c *PAC) Drained() bool {
 // least records a stall counter the cycle-accurate loop would have
 // recorded too).
 func (c *PAC) backlogged() bool {
-	return len(c.missQ)+len(c.wbQ)+len(c.stage2)+len(c.storeQ)+len(c.seqBuf)+len(c.bypassQ) > 0 ||
-		c.asm != nil
+	return c.missQ.Len()+c.wbQ.Len()+len(c.stage2)+c.storeQ.Len()+c.seqBuf.Len()+c.bypassQ.Len() > 0 ||
+		c.asmActive
 }
 
 // NextWake implements the engine.Clocked contract for the coalescing
@@ -271,7 +277,7 @@ func (c *PAC) Tick() {
 // pushMAQ appends a packet if space remains, maintaining the fill-latency
 // measurement. Returns false when the MAQ is full.
 func (c *PAC) pushMAQ(pkt mem.Coalesced) bool {
-	if len(c.maq) >= c.p.MAQDepth {
+	if c.maq.Len() >= c.p.MAQDepth {
 		return false
 	}
 	if !c.fillActive {
@@ -279,7 +285,7 @@ func (c *PAC) pushMAQ(pkt mem.Coalesced) bool {
 		c.fillPushes = 0
 		c.fillActive = true
 	}
-	c.maq = append(c.maq, pkt)
+	c.maq.PushBack(pkt)
 	c.fillPushes++
 	if c.fillPushes >= c.p.MAQDepth {
 		c.Stats.MAQFill.Add(float64(c.now - c.fillStart))
@@ -296,34 +302,38 @@ func (c *PAC) pushMAQ(pkt mem.Coalesced) bool {
 // tickMAQIntake moves waiting bypass packets (C=0 singles, atomics) into
 // the MAQ.
 func (c *PAC) tickMAQIntake() {
-	for len(c.bypassQ) > 0 {
-		if !c.pushMAQ(c.bypassQ[0]) {
+	for {
+		pkt, ok := c.bypassQ.Front()
+		if !ok {
+			return
+		}
+		if !c.pushMAQ(pkt) {
 			c.Stats.MAQStallCycles++
 			return
 		}
-		c.bypassQ = c.bypassQ[1:]
+		c.bypassQ.PopFront()
 	}
 }
 
 // tickAssembler advances stage 3: pop a block sequence, spend one cycle on
 // the coalescing-table lookup, then emit one packet per cycle.
 func (c *PAC) tickAssembler() {
-	if c.asm == nil {
-		if len(c.seqBuf) == 0 {
+	if !c.asmActive {
+		item, ok := c.seqBuf.PopFront()
+		if !ok {
 			return
 		}
-		item := c.seqBuf[0]
-		c.seqBuf = c.seqBuf[1:]
-		c.asm = &asmJob{item: item, runs: c.table.Lookup(item.bits)}
+		c.asm = asmJob{item: item, runs: c.table.Lookup(item.bits)}
+		c.asmActive = true
 		// The table lookup consumes this cycle.
 		return
 	}
-	j := c.asm
+	j := &c.asm
 	if !j.lookedUp {
 		j.lookedUp = true
 	}
 	if j.next >= len(j.runs) {
-		c.asm = nil
+		c.finishAsmJob()
 		c.tickAssembler() // pop the next sequence this cycle
 		return
 	}
@@ -336,15 +346,23 @@ func (c *PAC) tickAssembler() {
 	c.Stats.Stage3Lat.Add(float64(c.now - j.item.seqEnter))
 	j.next++
 	if j.next >= len(j.runs) {
-		c.asm = nil
+		c.finishAsmJob()
 	}
+}
+
+// finishAsmJob retires the assembler job, recycling the chunk's request
+// buffer (every packet's Parents were copied out by assemble).
+func (c *PAC) finishAsmJob() {
+	c.parents.Put(c.asm.item.reqs)
+	c.asm = asmJob{}
+	c.asmActive = false
 }
 
 // assemble builds the coalesced packet for one run of a chunk.
 func (c *PAC) assemble(item chunkItem, run Run) mem.Coalesced {
 	firstBlock := uint(item.chunk*c.chunkBits + run.Off)
 	addr := mem.BlockAddr(item.ppn, firstBlock)
-	var parents []mem.Request
+	parents := c.parents.Get()
 	for _, r := range item.reqs {
 		b := int(mem.BlockID(r.Addr))
 		rel := b - item.chunk*c.chunkBits
@@ -365,13 +383,12 @@ func (c *PAC) assemble(item chunkItem, run Run) mem.Coalesced {
 // tickStore advances the shared-bus write of decoded chunks into the block
 // sequence buffer: one chunk per cycle (paper §3.3.2).
 func (c *PAC) tickStore() {
-	if len(c.storeQ) == 0 {
+	item, ok := c.storeQ.PopFront()
+	if !ok {
 		return
 	}
-	item := c.storeQ[0]
-	c.storeQ = c.storeQ[1:]
 	item.seqEnter = c.now
-	c.seqBuf = append(c.seqBuf, item)
+	c.seqBuf.PushBack(item)
 	// Stage-2 latency is flush-to-stored for the stream's last chunk;
 	// record per chunk, which weights streams by their chunk count.
 	c.Stats.Stage2Lat.Add(float64(c.now - item.flushEnter))
@@ -381,15 +398,20 @@ func (c *PAC) tickStore() {
 // (16 parallel OR gates per the paper), after which its non-zero chunks
 // join the store queue.
 func (c *PAC) tickDecode() {
-	var rest []flushedStream
-	for _, f := range c.stage2 {
+	// Filter in place: kept streams stay in order, decoded ones leave.
+	keep := c.stage2[:0]
+	for i := range c.stage2 {
+		f := c.stage2[i]
 		if c.now <= f.enter {
-			rest = append(rest, f) // decode happens the cycle after entry
+			keep = append(keep, f) // decode happens the cycle after entry
 			continue
 		}
 		c.decodeChunks(f)
 	}
-	c.stage2 = rest
+	for i := len(keep); i < len(c.stage2); i++ {
+		c.stage2[i] = flushedStream{} // drop recycled-buffer references
+	}
+	c.stage2 = keep
 }
 
 // decodeChunks partitions a flushed stream's block-map into chunkBits-wide
@@ -410,13 +432,15 @@ func (c *PAC) decodeChunks(f flushedStream) {
 			flushEnter: f.enter,
 		}
 		lo, hi := ch*c.chunkBits, (ch+1)*c.chunkBits
+		item.reqs = c.parents.Get()
 		for _, r := range f.reqs {
 			if b := int(mem.BlockID(r.Addr)); b >= lo && b < hi {
 				item.reqs = append(item.reqs, r)
 			}
 		}
-		c.storeQ = append(c.storeQ, item)
+		c.storeQ.PushBack(item)
 	}
+	c.parents.Put(f.reqs)
 }
 
 // flushStream sends stream i down the pipeline (or around it, when its C
@@ -435,15 +459,16 @@ func (c *PAC) flushStream(i int) {
 			enter: c.now,
 		})
 	} else {
-		// Single-request streams skip stages 2-3 (C bit = 0).
+		// Single-request streams skip stages 2-3 (C bit = 0). The
+		// stream's one-element buffer moves into the packet as-is.
 		r := s.reqs[0]
 		c.Stats.Bypassed++
-		c.bypassQ = append(c.bypassQ, mem.Coalesced{
+		c.bypassQ.PushBack(mem.Coalesced{
 			ID:        c.nextID(),
 			Addr:      mem.BlockAlign(r.Addr),
 			Size:      mem.BlockSize,
 			Op:        s.op,
-			Parents:   []mem.Request{r},
+			Parents:   s.reqs,
 			Assembled: c.now,
 			Bypassed:  true,
 		})
@@ -487,12 +512,12 @@ func (c *PAC) tickAggregator() {
 		c.Stats.RawIn++
 		c.Stats.Atomics++
 		r.Issue = c.now
-		c.bypassQ = append(c.bypassQ, mem.Coalesced{
+		c.bypassQ.PushBack(mem.Coalesced{
 			ID:        c.nextID(),
 			Addr:      mem.BlockAlign(r.Addr),
 			Size:      mem.BlockSize,
 			Op:        mem.OpAtomic,
-			Parents:   []mem.Request{r},
+			Parents:   append(c.parents.Get(), r),
 			Assembled: c.now,
 			Bypassed:  true,
 		})
@@ -558,33 +583,25 @@ func (c *PAC) tickAggregator() {
 		op:    r.Op,
 		bmap:  1 << mem.BlockID(r.Addr),
 		first: c.now,
-		reqs:  []mem.Request{r},
+		reqs:  append(c.parents.Get(), r),
 	}
 }
 
 // nextInput pops the next request, round-robin between the miss and
 // write-back queues so neither starves.
 func (c *PAC) nextInput() (mem.Request, bool) {
-	pop := func(q *[]mem.Request) (mem.Request, bool) {
-		if len(*q) == 0 {
-			return mem.Request{}, false
-		}
-		r := (*q)[0]
-		*q = (*q)[1:]
-		return r, true
-	}
 	if c.takeWB {
 		c.takeWB = false
-		if r, ok := pop(&c.wbQ); ok {
+		if r, ok := c.wbQ.PopFront(); ok {
 			return r, true
 		}
-		return pop(&c.missQ)
+		return c.missQ.PopFront()
 	}
 	c.takeWB = true
-	if r, ok := pop(&c.missQ); ok {
+	if r, ok := c.missQ.PopFront(); ok {
 		return r, true
 	}
-	return pop(&c.wbQ)
+	return c.wbQ.PopFront()
 }
 
 // sampleOccupancy records the number of valid coalescing streams once per

@@ -21,12 +21,13 @@ func TestDecodeChunksPartitioning(t *testing.T) {
 		reqs = append(reqs, req(uint64(i+1), mem.BlockAddr(0x33, b), mem.OpLoad))
 	}
 	c.decodeChunks(flushedStream{op: mem.OpLoad, ppn: 0x33, bmap: bmap, reqs: reqs})
-	if len(c.storeQ) != 3 {
-		t.Fatalf("decoded %d chunks, want 3", len(c.storeQ))
+	if c.storeQ.Len() != 3 {
+		t.Fatalf("decoded %d chunks, want 3", c.storeQ.Len())
 	}
 	wantBits := map[int]uint{0: 0b0011, 1: 0b0010, 15: 0b1100}
 	wantReqs := map[int]int{0: 2, 1: 1, 15: 2}
-	for _, item := range c.storeQ {
+	for i := 0; i < c.storeQ.Len(); i++ {
+		item := c.storeQ.At(i)
 		if item.bits != wantBits[item.chunk] {
 			t.Errorf("chunk %d bits = %04b, want %04b", item.chunk, item.bits, wantBits[item.chunk])
 		}

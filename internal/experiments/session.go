@@ -64,6 +64,13 @@ type Session struct {
 	progFn  func(string)
 	hooks   *telemetry.Hooks
 
+	// scratch recycles sim.Scratch arenas across the session's runs, so
+	// a long-lived session (the pacd worker pool) reaches a steady state
+	// where simulations reuse buffers instead of allocating. Each arena
+	// is owned by exactly one run at a time; Scratch never affects
+	// results.
+	scratch sync.Pool
+
 	// Progress, when set, receives a line per completed simulation or
 	// trace capture. It MUST be assigned before the session's first
 	// result is requested and never reassigned afterwards: the session
@@ -250,11 +257,13 @@ func (s *Session) evictSim(k simKey, e *memoEntry[*sim.Result]) {
 func (s *Session) runSim(ctx context.Context, k simKey) (*sim.Result, error) {
 	cfg := s.simConfig(k.bench, k.mode, k.v)
 	cfg.Hooks = s.hooks
+	cfg.Scratch = s.getScratch()
 	runner, err := sim.NewRunner(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", k, err)
 	}
 	res, err := runner.RunContext(ctx)
+	s.scratch.Put(cfg.Scratch)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", k, err)
 	}
@@ -335,15 +344,26 @@ func (s *Session) runTrace(ctx context.Context, bench string) ([]mem.Request, er
 	cfg := s.simConfig(bench, coalesce.ModePAC, varDefault)
 	cfg.TraceSink = func(r mem.Request) { reqs = append(reqs, r) }
 	cfg.Hooks = s.hooks
+	cfg.Scratch = s.getScratch()
 	runner, err := sim.NewRunner(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)
 	}
-	if _, err := runner.RunContext(ctx); err != nil {
+	_, err = runner.RunContext(ctx)
+	s.scratch.Put(cfg.Scratch)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: trace %s: %w", bench, err)
 	}
 	s.noteDone(fmt.Sprintf("traced %-10s requests=%d", bench, len(reqs)))
 	return reqs, nil
+}
+
+// getScratch draws a recycled simulation arena from the session pool.
+func (s *Session) getScratch() *sim.Scratch {
+	if sc, ok := s.scratch.Get().(*sim.Scratch); ok {
+		return sc
+	}
+	return sim.NewScratch()
 }
 
 // simConfig builds the simulator configuration for one run.

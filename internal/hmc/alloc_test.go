@@ -1,0 +1,43 @@
+package hmc
+
+// Allocation gate: submitting packets and draining completions must be
+// allocation-free once the completion heap and the pop buffer have
+// reached their high-water marks.
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/arena"
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func TestDeviceSteadyStateAllocFree(t *testing.T) {
+	if arena.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	d := New(DefaultConfig())
+	var id uint64
+	now := int64(0)
+	cycle := func() {
+		for i := 0; i < 16; i++ {
+			id++
+			d.Submit(mem.Coalesced{
+				ID:   id,
+				Addr: uint64(i) * 256,
+				Size: 4 * mem.BlockSize,
+				Op:   mem.OpLoad,
+			}, now)
+		}
+		drained := 0
+		for drained < 16 {
+			now += 100
+			drained += len(d.PopCompleted(now))
+		}
+	}
+	for i := 0; i < 4; i++ { // warm-up: grow heap and pop buffer
+		cycle()
+	}
+	if got := testing.AllocsPerRun(20, cycle); got != 0 {
+		t.Errorf("steady-state cycle allocates %.1f times, want 0", got)
+	}
+}

@@ -22,7 +22,6 @@
 package hmc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/pacsim/pac/internal/engine"
@@ -172,18 +171,56 @@ type pending struct {
 	at   int64
 }
 
+// pendingHeap is a hand-rolled binary min-heap ordered by completion
+// cycle. It used to implement container/heap.Interface, but every
+// heap.Push boxed its pending value into an interface — one allocation
+// per submitted packet. The sift routines below mirror container/heap's
+// up/down exactly (same comparisons, same swaps), so the pop order of
+// equal-cycle responses — and therefore every downstream result — is
+// bit-identical to the old implementation.
 type pendingHeap []pending
 
-func (h pendingHeap) Len() int            { return len(h) }
-func (h pendingHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h pendingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pendingHeap) Push(x interface{}) { *h = append(*h, x.(pending)) }
-func (h *pendingHeap) Pop() interface{} {
+func (h pendingHeap) Len() int { return len(h) }
+
+func (h *pendingHeap) push(p pending) {
+	*h = append(*h, p)
+	// Sift up (container/heap up()).
+	j := len(*h) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !((*h)[j].at < (*h)[i].at) {
+			break
+		}
+		(*h)[i], (*h)[j] = (*h)[j], (*h)[i]
+		j = i
+	}
+}
+
+func (h *pendingHeap) pop() pending {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	// Sift down over old[:n] (container/heap down()).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && old[j2].at < old[j1].at {
+			j = j2
+		}
+		if !(old[j].at < old[i].at) {
+			break
+		}
+		old[i], old[j] = old[j], old[i]
+		i = j
+	}
+	p := old[n]
+	old[n] = pending{}
+	*h = old[:n]
+	return p
 }
 
 // Device is one simulated HMC.
@@ -199,6 +236,7 @@ type Device struct {
 	nextLink   int     // round-robin dispatch pointer
 
 	completed pendingHeap
+	popBuf    []mem.Response // reused by PopCompleted
 
 	// faults, when installed, injects transaction-layer faults: CRC
 	// replays on the request link, poisoned responses, and (via
@@ -398,7 +436,7 @@ func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
 	d.accountEnergy(pkt, reqFlits, respFlits, local, rqstSlotWait, rspSlotWait, rowHit)
 
 	s.Latency.Add(float64(done - now))
-	heap.Push(&d.completed, pending{
+	d.completed.push(pending{
 		resp: mem.Response{
 			ID:           pkt.ID,
 			Done:         done,
@@ -411,13 +449,15 @@ func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
 }
 
 // PopCompleted returns all responses whose completion cycle is <= now, in
-// completion order.
+// completion order. The returned slice is reused by the next call, so the
+// caller must consume it before driving the device again; submitting new
+// packets while iterating is fine (the heap has separate storage).
 func (d *Device) PopCompleted(now int64) []mem.Response {
-	var out []mem.Response
+	d.popBuf = d.popBuf[:0]
 	for d.completed.Len() > 0 && d.completed[0].at <= now {
-		out = append(out, heap.Pop(&d.completed).(pending).resp)
+		d.popBuf = append(d.popBuf, d.completed.pop().resp)
 	}
-	return out
+	return d.popBuf
 }
 
 // Outstanding returns the number of in-flight requests.

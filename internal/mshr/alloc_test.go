@@ -1,0 +1,58 @@
+package mshr
+
+// Allocation gate: once every entry's subentry backing array has grown
+// to its working size, the allocate/merge/release cycle must be
+// allocation-free — entries recycle their subentry storage in place.
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/arena"
+	"github.com/pacsim/pac/internal/mem"
+)
+
+func TestFileSteadyStateAllocFree(t *testing.T) {
+	if arena.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	f := New(Config{Entries: 8, MaxSubentries: 8, Adaptive: true, MaxBlocks: 4})
+	var parents [2]mem.Request
+	var id uint64
+	cycle := func() {
+		var entries [8]int
+		for i := 0; i < 8; i++ {
+			id++
+			base := uint64(i * 4)
+			parents[0] = mem.Request{ID: id, Addr: base << mem.BlockShift, Op: mem.OpLoad}
+			parents[1] = mem.Request{ID: id, Addr: (base + 1) << mem.BlockShift, Op: mem.OpLoad}
+			pkt := mem.Coalesced{
+				ID:      id,
+				Addr:    base << mem.BlockShift,
+				Size:    4 * mem.BlockSize,
+				Op:      mem.OpLoad,
+				Parents: parents[:],
+			}
+			e, ok := f.Allocate(pkt)
+			if !ok {
+				t.Fatal("allocate failed")
+			}
+			entries[i] = e
+			// Merge two more parents into the fresh entry.
+			pkt.Size = mem.BlockSize
+			if _, ok := f.TryMerge(pkt); !ok {
+				t.Fatal("merge failed")
+			}
+		}
+		for _, e := range entries {
+			if got, want := len(f.Release(e)), 4; got != want {
+				t.Fatalf("released %d subentries, want %d", got, want)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ { // warm-up: grow subentry arrays
+		cycle()
+	}
+	if got := testing.AllocsPerRun(20, cycle); got != 0 {
+		t.Errorf("steady-state cycle allocates %.1f times, want 0", got)
+	}
+}

@@ -216,6 +216,7 @@ func (f *File) Allocate(pkt mem.Coalesced) (entry int, ok bool) {
 			blocks: blocks,
 			op:     pkt.Op,
 			pktID:  pkt.ID,
+			subs:   e.subs[:0], // recycle the subentry backing array
 		}
 		for _, r := range pkt.Parents {
 			e.subs = append(e.subs, Subentry{
@@ -231,14 +232,17 @@ func (f *File) Allocate(pkt mem.Coalesced) (entry int, ok bool) {
 }
 
 // Release frees entry i when its memory response arrives and returns the
-// raw requests it satisfied.
+// raw requests it satisfied. The returned slice shares the entry's
+// recycled backing array: it is valid only until the file next allocates
+// an entry, so callers must consume (or copy) it before driving the file
+// again.
 func (f *File) Release(entry int) []Subentry {
 	e := &f.entries[entry]
 	if !e.valid {
 		panic(fmt.Sprintf("mshr: releasing invalid entry %d", entry))
 	}
 	subs := e.subs
-	*e = Entry{}
+	*e = Entry{subs: subs[:0]}
 	f.free++
 	return subs
 }

@@ -52,6 +52,7 @@ type Prefetcher struct {
 	cfg    Config
 	tables [][]streamEntry // [core][entry]
 	clock  uint64
+	outBuf []uint64 // backs Observe's result, reused per call
 	// Issued counts prefetch candidates emitted.
 	Issued int64
 }
@@ -73,7 +74,11 @@ func New(cfg Config, cores int) *Prefetcher {
 	if cfg.Streams <= 0 {
 		cfg.Streams = 12
 	}
-	p := &Prefetcher{cfg: cfg, tables: make([][]streamEntry, cores)}
+	p := &Prefetcher{
+		cfg:    cfg,
+		tables: make([][]streamEntry, cores),
+		outBuf: make([]uint64, 0, cfg.Degree),
+	}
 	for i := range p.tables {
 		p.tables[i] = make([]streamEntry, cfg.Streams)
 	}
@@ -89,8 +94,10 @@ func New(cfg Config, cores int) *Prefetcher {
 func (p *Prefetcher) NextWake(now int64) int64 { return engine.Never }
 
 // Observe records a demand miss on the given block number by a core and
-// returns the block numbers to prefetch (possibly none). The caller is
-// responsible for filtering out blocks already cached or in flight.
+// returns the block numbers to prefetch (possibly none). The returned
+// slice is reused by the next Observe call, so the caller must consume it
+// first. The caller is responsible for filtering out blocks already
+// cached or in flight.
 func (p *Prefetcher) Observe(core int, block uint64) []uint64 {
 	if !p.cfg.Enabled {
 		return nil
@@ -147,7 +154,7 @@ func (p *Prefetcher) Observe(core int, block uint64) []uint64 {
 		return nil
 	}
 	step := e.stride
-	out := make([]uint64, 0, p.cfg.Degree)
+	out := p.outBuf[:0]
 	next := int64(block)
 	for i := 0; i < p.cfg.Degree; i++ {
 		next += step
@@ -157,5 +164,6 @@ func (p *Prefetcher) Observe(core int, block uint64) []uint64 {
 		out = append(out, uint64(next))
 	}
 	p.Issued += int64(len(out))
+	p.outBuf = out
 	return out
 }

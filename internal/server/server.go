@@ -182,7 +182,7 @@ func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /metrics", s.metricsHandler())
 	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -198,6 +198,17 @@ func (s *Server) routes() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return s.instrument(mux)
+}
+
+// metricsHandler refreshes the runtime gauges (GC pause, live heap)
+// before each exposition, so scrapes see current values without a
+// background sampler ticking on idle daemons.
+func (s *Server) metricsHandler() http.Handler {
+	inner := s.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		telemetry.SampleRuntime(s.reg)
+		inner.ServeHTTP(w, r)
+	})
 }
 
 // instrument counts requests per coarse route and status code.

@@ -427,10 +427,17 @@ func TestMetricsExposition(t *testing.T) {
 		"pac_jobs_submitted_total",
 		"pac_jobs_finished_total",
 		"pac_http_requests_total",
+		telemetry.MetricGCPauseSeconds,
+		telemetry.MetricHeapAllocBytes,
 	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("/metrics missing %s", name)
 		}
+	}
+	// The runtime gauges are sampled per scrape; a live process always
+	// has a non-zero heap.
+	if v, ok := srv.Registry().Value(telemetry.MetricHeapAllocBytes); !ok || v <= 0 {
+		t.Errorf("heap gauge not sampled on scrape: %v %v", v, ok)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/pacsim/pac/internal/arena"
 	"github.com/pacsim/pac/internal/cache"
 	"github.com/pacsim/pac/internal/coalesce"
 	"github.com/pacsim/pac/internal/core"
@@ -125,6 +126,11 @@ type Config struct {
 	// equivalence suite enforces this); the reference exists as the
 	// differential-testing oracle and for kernel benchmarking.
 	ReferenceStepper bool
+	// Scratch, when non-nil, supplies the run's reusable buffers so a
+	// long-lived worker amortises allocations across runs. The Scratch
+	// must not be shared with a concurrently running simulation; nil
+	// gives the runner a private one. Scratch never affects results.
+	Scratch *Scratch
 }
 
 // DefaultConfig returns the paper's Table 1 machine running one benchmark
@@ -220,21 +226,28 @@ type coreState struct {
 	issued   int
 	done     bool
 	// pending is a trace access stalled before reaching the hierarchy
-	// (outstanding-load limit, or a fence awaiting queue space).
-	pending *workload.Access
-	// pendingOut are hierarchy outputs awaiting coalescer queue space.
+	// (outstanding-load limit, or a fence awaiting queue space); it is
+	// stored by value so a stall never allocates.
+	pending    workload.Access
+	hasPending bool
+	// pendingOut[outHead:] are hierarchy outputs awaiting coalescer
+	// queue space; the buffer is reused once fully placed.
 	pendingOut []outReq
+	outHead    int
 	// outstanding holds in-flight load/atomic request IDs; at the
 	// limit the core stalls.
-	outstanding map[uint64]struct{}
+	outstanding *arena.U64Set
 	// nextIssue is the earliest cycle the core may issue its next
 	// trace access (IssueInterval pacing).
 	nextIssue int64
 }
 
+// parked reports how many hierarchy outputs still await queue space.
+func (c *coreState) parked() int { return len(c.pendingOut) - c.outHead }
+
 // blocked reports whether the core still has queued work it must place
 // before issuing new accesses.
-func (c *coreState) blocked() bool { return len(c.pendingOut) > 0 || c.pending != nil }
+func (c *coreState) blocked() bool { return c.parked() > 0 || c.hasPending }
 
 // Runner executes one configured simulation.
 type Runner struct {
@@ -253,6 +266,14 @@ type Runner struct {
 	now    int64
 	nextID uint64
 
+	// scratch backs every reusable buffer of the run; groupBuf and
+	// probeBuf are runner-owned per-call scratch for issueAccess and the
+	// DMC arrival probe.
+	scratch  *Scratch
+	groupBuf []outReq
+	probeBuf [1]mem.Request
+	released bool
+
 	res Result
 }
 
@@ -261,7 +282,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	r := &Runner{cfg: cfg}
+	r := &Runner{cfg: cfg, scratch: cfg.Scratch}
+	if r.scratch == nil {
+		r.scratch = NewScratch()
+	}
 	ids := func() uint64 { r.nextID++; return r.nextID }
 
 	if cfg.Generators != nil && len(cfg.Generators) != len(cfg.Procs) {
@@ -288,7 +312,8 @@ func NewRunner(cfg Config) (*Runner, error) {
 			r.cores = append(r.cores, coreState{
 				proc:        p,
 				localIdx:    i,
-				outstanding: make(map[uint64]struct{}),
+				outstanding: r.scratch.getSet(),
+				pendingOut:  r.scratch.getOutBuf(),
 				// Stagger core start-up so identical per-core
 				// loops do not issue in lock-step bursts.
 				nextIssue: int64(len(r.cores)) * 29,
@@ -297,6 +322,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 
 	r.hier = cache.NewHierarchy(cfg.Hierarchy)
+	r.hier.UseScratch(r.scratch.getSet())
 	r.pf = prefetch.New(cfg.Prefetch, len(r.cores))
 	if cfg.Virtualize {
 		for p := range cfg.Procs {
@@ -306,15 +332,22 @@ func NewRunner(cfg Config) (*Runner, error) {
 	switch cfg.Mode {
 	case coalesce.ModePAC:
 		r.pac = core.New(cfg.PAC, ids)
+		r.pac.UseParentPool(r.scratch.parents)
 		r.pipe = coalesce.PACAdapter{PAC: r.pac}
 	case coalesce.ModeSortNet:
-		r.pipe = coalesce.NewSortingCoalescer(cfg.PAC.Streams, cfg.PAC.Timeout,
+		sc := coalesce.NewSortingCoalescer(cfg.PAC.Streams, cfg.PAC.Timeout,
 			cfg.PAC.Device.MaxReqBlocks(), ids)
+		sc.UseParentPool(r.scratch.parents)
+		r.pipe = sc
 	case coalesce.ModeRowBuf:
-		r.pipe = coalesce.NewRowBufferCoalescer(cfg.HMC.RowBytes, cfg.PAC.Streams,
+		rb := coalesce.NewRowBufferCoalescer(cfg.HMC.RowBytes, cfg.PAC.Streams,
 			cfg.PAC.Timeout, ids)
+		rb.UseParentPool(r.scratch.parents)
+		r.pipe = rb
 	default:
-		r.pipe = coalesce.NewPassthrough(cfg.PAC.InputQueueDepth, ids)
+		pt := coalesce.NewPassthrough(cfg.PAC.InputQueueDepth, ids)
+		pt.UseParentPool(r.scratch.parents)
+		r.pipe = pt
 	}
 	r.file = mshr.New(mshr.Config{
 		Entries:       cfg.MSHRs,
@@ -358,6 +391,7 @@ const cancelCheckMask = 1<<12 - 1
 // cycle-by-cycle stepper (Config.ReferenceStepper), which the
 // equivalence suite proves for every benchmark × mode combination.
 func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	defer r.release()
 	hooks := r.cfg.Hooks
 	bench := r.res.Name()
 	mode := r.cfg.Mode.String()
@@ -400,6 +434,27 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	})
 	r.hier.Record(hooks, bench)
 	return &r.res, nil
+}
+
+// release returns the run's recyclable buffers to its Scratch so the
+// next run with the same Scratch reuses them. The runner keeps its
+// references (a Runner is single-run; nothing reads them again), so this
+// only matters when Config.Scratch is shared across sequential runs. On
+// an aborted run the buffers still referenced by pipeline or MSHR state
+// are simply not returned.
+func (r *Runner) release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	for i := range r.cores {
+		c := &r.cores[i]
+		r.scratch.putSet(c.outstanding)
+		if c.parked() == 0 {
+			r.scratch.putOutBuf(c.pendingOut)
+		}
+	}
+	r.scratch.putSet(r.hier.TakeScratch())
 }
 
 // errWedged builds the MaxCycles abort error with enough machine state to
@@ -488,13 +543,13 @@ func (r *Runner) coresWake(now int64) int64 {
 	for i := range r.cores {
 		c := &r.cores[i]
 		switch {
-		case len(c.pendingOut) > 0:
+		case c.parked() > 0:
 			// Parked LLC outputs are offered to the pipeline every
 			// cycle.
 			return now + 1
-		case c.pending != nil:
+		case c.hasPending:
 			if c.pending.Op == mem.OpFence ||
-				len(c.outstanding) < r.cfg.MaxOutstandingLoads {
+				c.outstanding.Len() < r.cfg.MaxOutstandingLoads {
 				// Fences retry against the pipeline each cycle; a
 				// stalled access with budget again can issue now.
 				return now + 1
@@ -557,7 +612,7 @@ func (r *Runner) skipTo(t int64) {
 	}
 	for i := range r.cores {
 		c := &r.cores[i]
-		if c.pending != nil && c.pending.Op != mem.OpFence {
+		if c.hasPending && c.pending.Op != mem.OpFence {
 			r.res.CoreStallCycles += k
 		}
 	}
@@ -582,7 +637,7 @@ func (r *Runner) skipTo(t int64) {
 func (r *Runner) finished() bool {
 	for i := range r.cores {
 		c := &r.cores[i]
-		if !c.done || len(c.outstanding) > 0 || c.blocked() {
+		if !c.done || c.outstanding.Len() > 0 || c.blocked() {
 			return false
 		}
 	}
@@ -658,10 +713,14 @@ func (r *Runner) dispatch() {
 }
 
 // admit merges or allocates a packet; returns false when no MSHR is free.
+// An admitted packet's Parents are fully copied into MSHR subentries, so
+// the slice goes back to the parent pool here; a rejected packet keeps
+// its Parents (the caller holds it back or drops it).
 func (r *Runner) admit(pkt mem.Coalesced) bool {
 	if r.cfg.Mode.MergesInMSHR() {
 		if _, ok := r.file.TryMerge(pkt); ok {
 			r.res.MSHRMergedRaw += int64(len(pkt.Parents))
+			r.scratch.parents.Put(pkt.Parents)
 			return true
 		}
 	}
@@ -670,6 +729,7 @@ func (r *Runner) admit(pkt mem.Coalesced) bool {
 	}
 	r.res.MemPackets++
 	r.dev.Submit(pkt, r.now)
+	r.scratch.parents.Put(pkt.Parents)
 	return true
 }
 
@@ -698,7 +758,7 @@ func (r *Runner) reissue(entry int, e *mshr.Entry) {
 func (r *Runner) completeRaw(req mem.Request) {
 	if req.Op == mem.OpLoad || req.Op == mem.OpAtomic {
 		c := &r.cores[req.Core]
-		delete(c.outstanding, req.ID)
+		c.outstanding.Remove(req.ID)
 		lat := r.now - req.Issue
 		r.res.LoadLatency.Add(float64(lat))
 		r.res.LoadLatencyHist.Add(int(lat / 10))
@@ -711,19 +771,23 @@ func (r *Runner) issueCore(i int) {
 	c := &r.cores[i]
 
 	// Parked LLC outputs must be placed before anything else.
-	for len(c.pendingOut) > 0 {
-		o := c.pendingOut[0]
+	for c.outHead < len(c.pendingOut) {
+		o := c.pendingOut[c.outHead]
 		if !r.enqueue(o.req, o.wb) {
 			r.res.CoreStallCycles++
 			return
 		}
-		c.pendingOut = c.pendingOut[1:]
+		c.outHead++
+	}
+	if c.outHead > 0 {
+		c.pendingOut = c.pendingOut[:0]
+		c.outHead = 0
 	}
 
 	var a workload.Access
-	if c.pending != nil {
-		a = *c.pending
-		c.pending = nil
+	if c.hasPending {
+		a = c.pending
+		c.hasPending = false
 	} else {
 		if c.done {
 			return
@@ -741,7 +805,8 @@ func (r *Runner) issueCore(i int) {
 	}
 
 	if !r.issueAccess(i, a) {
-		c.pending = &a
+		c.pending = a
+		c.hasPending = true
 		r.res.CoreStallCycles++
 	}
 }
@@ -759,7 +824,7 @@ func (r *Runner) issueAccess(coreIdx int, a workload.Access) bool {
 
 	// Every demand access respects the outstanding-fill budget (the
 	// core's load/store queue depth).
-	if len(c.outstanding) >= r.cfg.MaxOutstandingLoads {
+	if c.outstanding.Len() >= r.cfg.MaxOutstandingLoads {
 		return false
 	}
 
@@ -775,15 +840,17 @@ func (r *Runner) issueAccess(coreIdx int, a workload.Access) bool {
 	// From here on the cache state is updated, so the access always
 	// "succeeds"; any outputs that cannot be queued now are parked on
 	// the core and block it until placed. The access's memory traffic
-	// (miss, prefetches, write-backs) is routed as one group.
-	var group []outReq
+	// (miss, prefetches, write-backs) is routed as one group, staged in
+	// the runner's reusable group buffer (route copies any leftovers
+	// onto the core before returning).
+	group := r.groupBuf[:0]
 	for _, wb := range out.WriteBacks {
 		group = append(group, outReq{wb, true})
 	}
 	if out.MissValid {
 		miss := out.Miss
 		if miss.Op == mem.OpLoad || miss.Op == mem.OpAtomic {
-			c.outstanding[miss.ID] = struct{}{}
+			c.outstanding.Add(miss.ID)
 		}
 		group = append(group, outReq{miss, false})
 		// A demand miss (not an uncached atomic) trains the stride
@@ -796,6 +863,7 @@ func (r *Runner) issueAccess(coreIdx int, a workload.Access) bool {
 		}
 	}
 	r.route(c, group)
+	r.groupBuf = group[:0]
 	return true
 }
 
@@ -853,11 +921,14 @@ func (r *Runner) directAdmit(req mem.Request, wb bool) bool {
 		Addr:      mem.BlockAlign(req.Addr),
 		Size:      mem.BlockSize,
 		Op:        req.Op,
-		Parents:   []mem.Request{req},
+		Parents:   append(r.scratch.parents.Get(), req),
 		Assembled: r.now,
 		Bypassed:  true,
 	}
 	if !r.admit(pkt) {
+		// The packet is dropped (the request falls back to the
+		// pipeline), so its Parents go straight back to the pool.
+		r.scratch.parents.Put(pkt.Parents)
 		return false
 	}
 	r.res.DirectDispatches++
@@ -875,11 +946,15 @@ func (r *Runner) directAdmit(req mem.Request, wb bool) bool {
 // outstanding cache line is absorbed immediately.
 func (r *Runner) enqueue(req mem.Request, wb bool) bool {
 	if r.cfg.Mode == coalesce.ModeDMC && req.Op.IsAccess() && req.Op != mem.OpAtomic {
+		// The probe packet lives only for this TryMerge call (the file
+		// copies the parent into a subentry on success), so it borrows
+		// the runner's one-element probe buffer instead of allocating.
+		r.probeBuf[0] = req
 		pkt := mem.Coalesced{
 			Addr:    mem.BlockAlign(req.Addr),
 			Size:    mem.BlockSize,
 			Op:      req.Op,
-			Parents: []mem.Request{req},
+			Parents: r.probeBuf[:1],
 		}
 		if _, ok := r.file.TryMerge(pkt); ok {
 			r.res.MSHRMergedRaw++

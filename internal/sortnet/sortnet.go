@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"github.com/pacsim/pac/internal/arena"
 	"github.com/pacsim/pac/internal/mem"
 )
 
@@ -153,6 +154,22 @@ func (s *Network) oddEvenMerge(v []uint64, lo, n, r int) {
 	}
 }
 
+// BatchScratch holds the reusable sort and output buffers of a sorting
+// DMC unit, so repeated CoalesceBatchInto calls are allocation-free once
+// the buffers reach their high-water mark. The optional parent pool backs
+// the emitted packets' Parents slices.
+type BatchScratch struct {
+	keys    []uint64
+	out     []mem.Coalesced
+	parents *arena.SlicePool[mem.Request]
+}
+
+// NewBatchScratch returns a scratch whose packets draw Parents storage
+// from pool (nil means plain allocation).
+func NewBatchScratch(pool *arena.SlicePool[mem.Request]) *BatchScratch {
+	return &BatchScratch{parents: pool}
+}
+
 // CoalesceBatch implements the sorting-network DMC of Wang et al.
 // (ICPP'18): a batch of raw requests is sorted by (op, block address)
 // through the given network, then runs of requests on contiguous cache
@@ -161,11 +178,22 @@ func (s *Network) oddEvenMerge(v []uint64, lo, n, r int) {
 // returned packets' Parents. Batches are padded to the network's
 // power-of-two width with sentinel keys.
 func CoalesceBatch(net *Network, reqs []mem.Request, maxBlocks int, ids func() uint64) []mem.Coalesced {
+	return CoalesceBatchInto(net, reqs, maxBlocks, ids, nil)
+}
+
+// CoalesceBatchInto is CoalesceBatch with caller-owned scratch: the
+// returned slice aliases sc.out and is valid until the next call with the
+// same scratch, so the caller must copy the packets out first. A nil
+// scratch allocates fresh buffers, matching CoalesceBatch.
+func CoalesceBatchInto(net *Network, reqs []mem.Request, maxBlocks int, ids func() uint64, sc *BatchScratch) []mem.Coalesced {
 	if len(reqs) == 0 {
 		return nil
 	}
 	if maxBlocks < 1 {
 		panic("sortnet: maxBlocks must be >= 1")
+	}
+	if sc == nil {
+		sc = &BatchScratch{}
 	}
 	// Keys: op in the top bit (so loads and stores separate), block
 	// number below, batch index in the low bits for stable recovery.
@@ -177,7 +205,10 @@ func CoalesceBatch(net *Network, reqs []mem.Request, maxBlocks int, ids func() u
 	if len(reqs) >= 1<<idxBits {
 		panic("sortnet: batch too large")
 	}
-	keys := make([]uint64, width)
+	if cap(sc.keys) < width {
+		sc.keys = make([]uint64, width)
+	}
+	keys := sc.keys[:width]
 	for i, r := range reqs {
 		op := uint64(0)
 		if r.Op == mem.OpStore {
@@ -190,44 +221,39 @@ func CoalesceBatch(net *Network, reqs []mem.Request, maxBlocks int, ids func() u
 	}
 	net.Sort(keys)
 
-	var out []mem.Coalesced
-	var cur *mem.Coalesced
+	// Build packets directly in the output buffer; cur indexes the run
+	// being extended.
+	out := sc.out[:0]
+	cur := -1
 	var curEndBlock uint64
-	flush := func() {
-		if cur != nil {
-			out = append(out, *cur)
-			cur = nil
-		}
-	}
 	for _, k := range keys {
 		if k == ^uint64(0) {
 			break
 		}
 		r := reqs[k&(1<<idxBits-1)]
 		blk := mem.BlockNumber(r.Addr)
-		if cur != nil && r.Op == cur.Op &&
+		if cur >= 0 && r.Op == out[cur].Op &&
 			(blk == curEndBlock || blk == curEndBlock-1) && // adjacent or duplicate
 			// Stay within one maxBlocks-aligned chunk so packets
 			// never span device rows.
-			blk/uint64(maxBlocks) == mem.BlockNumber(cur.Addr)/uint64(maxBlocks) {
+			blk/uint64(maxBlocks) == mem.BlockNumber(out[cur].Addr)/uint64(maxBlocks) {
 			if blk == curEndBlock {
-				cur.Size += mem.BlockSize
+				out[cur].Size += mem.BlockSize
 				curEndBlock++
 			}
-			cur.Parents = append(cur.Parents, r)
+			out[cur].Parents = append(out[cur].Parents, r)
 			continue
 		}
-		flush()
-		c := mem.Coalesced{
+		out = append(out, mem.Coalesced{
 			ID:      ids(),
 			Addr:    mem.BlockAlign(r.Addr),
 			Size:    mem.BlockSize,
 			Op:      r.Op,
-			Parents: []mem.Request{r},
-		}
-		cur = &c
+			Parents: append(sc.parents.Get(), r),
+		})
+		cur = len(out) - 1
 		curEndBlock = blk + 1
 	}
-	flush()
+	sc.out = out
 	return out
 }

@@ -1,0 +1,28 @@
+package telemetry
+
+import "runtime"
+
+// Runtime metric names. Both are sampled from runtime.ReadMemStats on
+// demand — typically once per /metrics scrape — rather than on a
+// background ticker, so an idle daemon costs nothing.
+const (
+	// MetricGCPauseSeconds is the cumulative stop-the-world GC pause
+	// time. The zero-alloc hot path exists to keep this flat while
+	// simulations run.
+	MetricGCPauseSeconds = "pac_gc_pause_seconds"
+	// MetricHeapAllocBytes is the live heap (bytes of allocated and
+	// not yet freed objects).
+	MetricHeapAllocBytes = "pac_heap_alloc_bytes"
+)
+
+// SampleRuntime reads the Go runtime's memory statistics into the
+// registry's runtime gauges. ReadMemStats briefly stops the world, so
+// call it at scrape frequency, not per event.
+func SampleRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(MetricGCPauseSeconds, "Cumulative GC stop-the-world pause time in seconds.").
+		Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge(MetricHeapAllocBytes, "Bytes of live heap objects (runtime.MemStats.HeapAlloc).").
+		Set(float64(ms.HeapAlloc))
+}

@@ -303,3 +303,14 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestSampleRuntime(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	if v, ok := r.Value(MetricHeapAllocBytes); !ok || v <= 0 {
+		t.Errorf("%s = %v (ok=%v), want a positive live heap", MetricHeapAllocBytes, v, ok)
+	}
+	if v, ok := r.Value(MetricGCPauseSeconds); !ok || v < 0 {
+		t.Errorf("%s = %v (ok=%v), want a non-negative cumulative pause", MetricGCPauseSeconds, v, ok)
+	}
+}

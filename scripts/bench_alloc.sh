@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench_alloc.sh — record the allocation baseline for the hot paths.
+#
+# Runs the BenchmarkAllocs suite with -benchmem and distils the numbers
+# into BENCH_alloc.json (ns/op, B/op, allocs/op per sub-benchmark). The
+# steady-state paths (coalesce-event, mshr-cycle, hmc-submit-pop) must
+# report 0 allocs/op — the script exits non-zero if any regressed, so CI
+# can use it as the allocation-regression gate alongside the
+# Test*SteadyStateAllocFree unit gates.
+#
+# Usage: scripts/bench_alloc.sh [benchtime]
+#   benchtime: go test -benchtime value (default 1000x)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1000x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkAllocs' -benchmem \
+	-benchtime "$benchtime" . | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+/^BenchmarkAllocs\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkAllocs\//, "", name)
+	nsop[name] = $3
+	bop[name] = $5
+	aop[name] = $7
+	order[n++] = name
+}
+END {
+	if (n == 0) { print "no BenchmarkAllocs output" > "/dev/stderr"; exit 1 }
+	print  "{"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print  "  \"benches\": {"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, nsop[name], bop[name], aop[name], (i < n - 1) ? "," : ""
+	}
+	print  "  },"
+	# Hard gate: the per-event paths must stay allocation-free. The
+	# whole-run bench (sim-run-warm) is construction residue and only
+	# tracked, not gated here.
+	fail = 0
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (name == "sim-run-warm") continue
+		if (aop[name] + 0 != 0) {
+			printf "ALLOC REGRESSION: %s = %s allocs/op, want 0\n", name, aop[name] > "/dev/stderr"
+			fail = 1
+		}
+	}
+	printf "  \"zero_alloc_gate\": \"%s\"\n", fail ? "FAIL" : "pass"
+	print  "}"
+	exit fail
+}' "$raw" >BENCH_alloc.json
+
+echo "wrote BENCH_alloc.json"
