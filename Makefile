@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race smoke serve smoke-serve chaos \
-        vet fmt bench bench-kernel bench-alloc test-alloc figures \
-        figures-quick examples fuzz clean
+.PHONY: all build test test-short test-race smoke serve smoke-serve \
+        smoke-cluster bench-cluster chaos vet fmt bench bench-kernel \
+        bench-alloc test-alloc figures figures-quick examples fuzz clean
 
 all: vet test build
 
@@ -39,12 +39,26 @@ serve:
 smoke-serve:
 	scripts/smoke_serve.sh
 
+# End-to-end fleet smoke: a pacgw gateway over two pacd backends —
+# routing, session-cache affinity, fan-out sweep, backend kill with
+# ejection, and a clean gateway drain.
+smoke-cluster:
+	scripts/smoke_cluster.sh
+
+# Fleet load benchmark: pacload drives the gateway with a mixed hot/cold
+# key stream and distills throughput/latency/affinity into
+# BENCH_cluster.json.
+bench-cluster:
+	scripts/bench_cluster.sh
+
 # Chaos smoke under the race detector: the fault-injection subsystem,
-# the sim-level fault/equivalence suite, and the daemon resilience tests
-# (watchdog kills, retry with backoff, panic recovery).
+# the sim-level fault/equivalence suite, the daemon resilience tests
+# (watchdog kills, retry with backoff, panic recovery), and the gateway
+# cluster chaos suite (backend death mid-job, dead fleet).
 chaos:
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race -run 'Fault|Chaos|Watchdog|Retr|Panic|Poison' ./internal/sim/ ./internal/server/
+	$(GO) test -race -run 'Chaos' ./internal/gateway/
 
 vet:
 	$(GO) vet ./...
@@ -90,11 +104,12 @@ examples:
 	$(GO) run ./examples/multiprocess
 	$(GO) run ./examples/prefetchdemo
 
-# Short fuzzing passes over the binary-format parser and the coalescing
-# pipeline.
+# Short fuzzing passes over the binary-format parser, the coalescing
+# pipeline, and the gateway's consistent-hash ring.
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzRead -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzPipeline -fuzztime 30s
+	$(GO) test ./internal/gateway/ -fuzz FuzzRing -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

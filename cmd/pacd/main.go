@@ -52,6 +52,7 @@ func main() {
 		maxRetries   = flag.Int("max-retries", 2, "retries per job after a watchdog kill, panic, or internal error (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		node         = flag.String("node", "", "node name within a pacgw fleet (sets X-Pac-Node and job attribution)")
 
 		// Fault-plan flags of the default session; all zero (the default)
 		// disables injection. Per-request plans arrive through the
@@ -103,6 +104,7 @@ func main() {
 		JobTimeout:     *jobTimeout,
 		MaxRetries:     *maxRetries,
 		EnablePprof:    *pprofOn,
+		NodeID:         *node,
 	})
 
 	httpSrv := &http.Server{

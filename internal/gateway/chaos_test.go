@@ -1,0 +1,160 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosBackendDiesMidJob is the headline chaos scenario: a backend
+// accepts a simulate request and then drops dead (the TCP connection is
+// severed mid-response, its /healthz goes dark). The gateway must
+//
+//  1. retry the request on a surviving backend and return the correct
+//     result to the client, who never sees the crash;
+//  2. eject the dead node via the health loop (pac_gw_ejections_total
+//     rises, /healthz reports a degraded fleet);
+//  3. keep serving every key from the survivor.
+func TestChaosBackendDiesMidJob(t *testing.T) {
+	var dead atomic.Bool
+	victim := newStubBackend(t, func() bool { return !dead.Load() },
+		func(w http.ResponseWriter, r *http.Request) {
+			// The node "crashes" while handling the job: the connection is
+			// hijacked and closed with no response, and from now on the
+			// node is unreachable to health probes too.
+			dead.Store(true)
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("stub response writer cannot hijack")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+		})
+	survivorURL := startBackends(t, 1)[0]
+	gw, front := testGateway(t, []string{victim.URL, survivorURL}, nil)
+
+	// Route a request the victim owns, so the crash happens on the
+	// primary path and the retry is a genuine failover.
+	bench := benchOwnedBy(t, gw, victim.URL)
+	resp, payload := postJSON(t, front.URL+"/v1/simulate?wait=60s",
+		fmt.Sprintf(`{"benchmark": %q}`, bench))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request lost in the crash: %d %s", resp.StatusCode, payload)
+	}
+	if got := resp.Header.Get("X-Pac-Backend"); got != survivorURL {
+		t.Fatalf("served by %s, want survivor %s", got, survivorURL)
+	}
+	// The payload is a real finished job with the right benchmark.
+	if !strings.Contains(payload, `"status": "done"`) ||
+		!strings.Contains(payload, fmt.Sprintf(`"benchmark": %q`, bench)) {
+		t.Fatalf("failover returned a wrong or unfinished result: %s", payload)
+	}
+	if m := metric(t, gw, "pac_gw_retries_total"); m < 1 {
+		t.Fatalf("crash failover recorded %v retries, want >= 1", m)
+	}
+
+	// The health loop notices the corpse and ejects it.
+	waitFor(t, 2*time.Second, "victim ejection", func() bool {
+		return metric(t, gw, "pac_gw_ejections_total", "backend", victim.URL) >= 1
+	})
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, hresp); !strings.Contains(body, `"status": "degraded"`) {
+		t.Fatalf("fleet healthz after crash: %s", body)
+	}
+
+	// Every key — including the victim's — now lands on the survivor.
+	for _, b := range []string{"GS", "STREAM", bench} {
+		r, p := postJSON(t, front.URL+"/v1/simulate?wait=60s",
+			fmt.Sprintf(`{"benchmark": %q}`, b))
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s after ejection: %d %s", b, r.StatusCode, p)
+		}
+		if got := r.Header.Get("X-Pac-Backend"); got != survivorURL {
+			t.Fatalf("%s after ejection served by %s, want survivor", b, got)
+		}
+	}
+}
+
+// TestChaosSweepSurvivesBackendDeath runs a fan-out sweep while one
+// backend dies on its first cell: the sweep redispatch layer must rerun
+// the lost cells elsewhere and still deliver a complete table.
+func TestChaosSweepSurvivesBackendDeath(t *testing.T) {
+	var dead atomic.Bool
+	victim := newStubBackend(t, func() bool { return !dead.Load() },
+		func(w http.ResponseWriter, r *http.Request) {
+			dead.Store(true)
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
+			}
+		})
+	survivorURL := startBackends(t, 1)[0]
+	_, front := testGateway(t, []string{victim.URL, survivorURL}, nil)
+
+	resp, payload := postJSON(t, front.URL+"/v1/sweep",
+		`{"benchmarks": ["GS", "STREAM", "BFS", "FFT"], "modes": ["pac", "none"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep during backend death: %d %s", resp.StatusCode, payload)
+	}
+	var out SweepResponse
+	if err := json.Unmarshal([]byte(payload), &out); err != nil {
+		t.Fatalf("decoding sweep response: %v", err)
+	}
+	if len(out.Routes) != 8 {
+		t.Fatalf("sweep returned %d cells, want 8", len(out.Routes))
+	}
+	for _, rt := range out.Routes {
+		if rt.Backend != survivorURL {
+			t.Fatalf("cell %s/%s ran on %s, want survivor after death", rt.Benchmark, rt.Mode, rt.Backend)
+		}
+	}
+	if !strings.Contains(out.Text, "GS") || !strings.Contains(out.Text, "STREAM") {
+		t.Fatalf("merged table text incomplete: %s", out.Text)
+	}
+}
+
+// TestChaosAllBackendsDown pins the empty-fleet answer: 503 with a
+// Retry-After so clients back off instead of spinning.
+func TestChaosAllBackendsDown(t *testing.T) {
+	var dead atomic.Bool
+	only := newStubBackend(t, func() bool { return !dead.Load() }, nil)
+	gw, front := testGateway(t, []string{only.URL}, nil)
+
+	dead.Store(true)
+	waitFor(t, 2*time.Second, "sole backend ejection", func() bool {
+		return metric(t, gw, "pac_gw_backend_up", "backend", only.URL) == 0
+	})
+
+	resp, payload := postJSON(t, front.URL+"/v1/simulate", `{"benchmark": "GS"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead fleet answered %d: %s", resp.StatusCode, payload)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if m := metric(t, gw, "pac_gw_no_backend_total"); m < 1 {
+		t.Fatalf("pac_gw_no_backend_total = %v, want >= 1", m)
+	}
+
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, hresp)
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, `"status": "down"`) {
+		t.Fatalf("dead-fleet healthz: %d %s", hresp.StatusCode, body)
+	}
+}

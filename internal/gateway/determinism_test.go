@@ -1,0 +1,154 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pacsim/pac/internal/server"
+)
+
+// jitterBackend wraps a real pacd handler with a random per-request
+// delay so backend completion order is shuffled between runs — the merge
+// must not depend on it.
+func jitterBackend(t *testing.T, node string, seed int64, maxDelay time.Duration) string {
+	t.Helper()
+	srv := server.New(server.Config{
+		Options:     quickOpts(),
+		Parallel:    2,
+		Concurrency: 2,
+		QueueDepth:  64,
+		NodeID:      node,
+	})
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		d := time.Duration(rng.Int63n(int64(maxDelay)))
+		mu.Unlock()
+		time.Sleep(d)
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// sweepText runs one sweep through a fresh gateway over the given
+// backends and returns the rendered table text.
+func sweepText(t *testing.T, backends []string, body string) (string, []SweepRoute) {
+	t.Helper()
+	_, front := testGateway(t, backends, nil)
+	resp, payload := postJSON(t, front.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, payload)
+	}
+	var out SweepResponse
+	if err := json.Unmarshal([]byte(payload), &out); err != nil {
+		t.Fatalf("decoding sweep response: %v", err)
+	}
+	if out.Text == "" {
+		t.Fatal("sweep returned empty table text")
+	}
+	return out.Text, out.Routes
+}
+
+// TestSweepDeterministicAcrossFleetSizes is the fan-out determinism
+// gate: the same sweep run against a single fresh node and against a
+// 3-node fleet with randomized per-backend latency must merge to
+// byte-identical table text. The cells are simulated on different nodes
+// in a different completion order every run; only the simulator's own
+// determinism and the index-ordered merge may show through.
+//
+// Run under -race this also shakes out data races in the fan-out path
+// (the CI race job does exactly that).
+func TestSweepDeterministicAcrossFleetSizes(t *testing.T) {
+	body := `{"benchmarks": ["GS", "STREAM", "BFS", "FFT", "SORT"], "modes": ["pac", "dmc", "none"]}`
+
+	single, _ := sweepText(t, startBackends(t, 1), body)
+
+	fleet := []string{
+		jitterBackend(t, "j0", 101, 15*time.Millisecond),
+		jitterBackend(t, "j1", 202, 15*time.Millisecond),
+		jitterBackend(t, "j2", 303, 15*time.Millisecond),
+	}
+	fanned, routes := sweepText(t, fleet, body)
+
+	if fanned != single {
+		t.Fatalf("fan-out table text differs from single-node run.\n--- single ---\n%s\n--- fleet ---\n%s", single, fanned)
+	}
+
+	// The equality above must be a real fan-out property, not a fleet
+	// that degenerated to one node.
+	used := map[string]bool{}
+	for _, r := range routes {
+		used[r.Backend] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("sweep used %d backend(s), fan-out not exercised: %v", len(used), used)
+	}
+
+	// And a second fleet run (fresh gateway, different jitter) must
+	// reproduce the same bytes again.
+	fleet2 := []string{
+		jitterBackend(t, "k0", 907, 15*time.Millisecond),
+		jitterBackend(t, "k1", 808, 15*time.Millisecond),
+		jitterBackend(t, "k2", 709, 15*time.Millisecond),
+	}
+	again, _ := sweepText(t, fleet2, body)
+	if again != single {
+		t.Fatalf("second fleet run differs:\n--- first ---\n%s\n--- second ---\n%s", single, again)
+	}
+}
+
+// TestSweepCellsMatchDirectSimulation cross-checks the merged table
+// against the ground truth: each sweep cell must carry exactly the
+// numbers a direct single-node /v1/simulate of that (benchmark, mode)
+// reports.
+func TestSweepCellsMatchDirectSimulation(t *testing.T) {
+	backends := startBackends(t, 2)
+	_, front := testGateway(t, backends, nil)
+
+	_, payload := postJSON(t, front.URL+"/v1/sweep", `{"benchmarks": ["GS"], "modes": ["pac"]}`)
+	// report.Table serializes its rows through MarshalJSON; decode the
+	// wire shape directly.
+	var out struct {
+		Table struct {
+			Rows [][]string `json:"rows"`
+		} `json:"table"`
+	}
+	if err := json.Unmarshal([]byte(payload), &out); err != nil {
+		t.Fatalf("decoding sweep response: %v", err)
+	}
+	if len(out.Table.Rows) != 1 {
+		t.Fatalf("want 1 table row, got %+v", out.Table.Rows)
+	}
+
+	resp, direct := postJSON(t, front.URL+"/v1/simulate?wait=60s", `{"benchmark": "GS", "mode": "pac"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct simulate: %d %s", resp.StatusCode, direct)
+	}
+	var job struct {
+		Result struct {
+			Result struct {
+				Cycles      uint64 `json:"Cycles"`
+				RawRequests uint64 `json:"RawRequests"`
+				MemPackets  uint64 `json:"MemPackets"`
+			} `json:"result"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(direct), &job); err != nil {
+		t.Fatalf("decoding direct result: %v", err)
+	}
+
+	row := out.Table.Rows[0]
+	wantCycles := fmt.Sprint(job.Result.Result.Cycles)
+	if len(row) < 3 || row[2] != wantCycles {
+		t.Fatalf("sweep cycles cell %v != direct %s", row, wantCycles)
+	}
+}

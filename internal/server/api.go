@@ -84,21 +84,34 @@ func (p *sessionPool) session(opts experiments.Options) (*experiments.Session, s
 	return sess, key
 }
 
-// optionsHash is the canonical hash of fully-specified options: the
+// OptionsHash is the canonical hash of fully-specified options: the
 // SHA-256 of their fixed-order JSON encoding, truncated for readability.
 // Two requests normalising to the same options share a session (and
-// therefore a result cache).
-func optionsHash(o experiments.Options) string {
+// therefore a result cache). The gateway uses the same hash as its
+// consistent-hash shard key, so cache affinity survives fan-out across a
+// pacd fleet.
+func OptionsHash(o experiments.Options) string {
 	o.Parallel = 0 // worker count never changes results
 	b, _ := json.Marshal(o)
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:8])
 }
 
-// configHash keys one simulate request: options hash + benchmark + mode.
-func configHash(optsKey, bench string, mode coalesce.Mode) string {
+// optionsHash keeps the package-internal call sites short.
+func optionsHash(o experiments.Options) string { return OptionsHash(o) }
+
+// SimKey keys one simulate request: options hash + benchmark + mode. It
+// identifies exactly one memo slot of one session, which makes it the
+// finest-grained routing key a gateway can use without losing
+// session-cache affinity.
+func SimKey(optsKey, bench string, mode coalesce.Mode) string {
 	sum := sha256.Sum256([]byte(optsKey + "/" + bench + "/" + mode.String()))
 	return hex.EncodeToString(sum[:8])
+}
+
+// configHash keeps the package-internal call sites short.
+func configHash(optsKey, bench string, mode coalesce.Mode) string {
+	return SimKey(optsKey, bench, mode)
 }
 
 // SimulateRequest is the body of POST /v1/simulate. Zero-valued fields
@@ -159,6 +172,18 @@ type ExperimentResult struct {
 // validate resolves the request against the server's base options,
 // returning the normalized options, benchmark, and mode.
 func (s *Server) validate(req SimulateRequest) (experiments.Options, string, coalesce.Mode, error) {
+	return ResolveSimulate(s.defaultOptions(), req)
+}
+
+// ResolveSimulate validates req and resolves it against base (a
+// fully-specified default option set, typically Server.defaultOptions or
+// the gateway's fleet-wide base), returning the normalized options the
+// request will run under, the benchmark, and the mode. Both the daemon
+// and the gateway resolve requests through this one function, so a
+// gateway computing OptionsHash/SimKey from the result derives exactly
+// the key the backend's session pool will use — the property the
+// consistent-hash routing relies on.
+func ResolveSimulate(base experiments.Options, req SimulateRequest) (experiments.Options, string, coalesce.Mode, error) {
 	if req.Benchmark == "" {
 		return experiments.Options{}, "", 0, fmt.Errorf("benchmark is required (one of %s)",
 			strings.Join(workload.Names(), ", "))
@@ -189,7 +214,7 @@ func (s *Server) validate(req SimulateRequest) (experiments.Options, string, coa
 	case req.Scale < 0 || req.Scale > maxScale:
 		return experiments.Options{}, "", 0, fmt.Errorf("scale %v out of range (0, %v]", req.Scale, maxScale)
 	}
-	opts := s.defaultOptions()
+	opts := base
 	if req.Cores > 0 {
 		opts.Cores = req.Cores
 	}

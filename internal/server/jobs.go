@@ -44,6 +44,9 @@ const maxProgressLines = 256
 type Job struct {
 	id   string
 	kind string
+	// node is the owning daemon's NodeID ("" outside a fleet); surfaced
+	// in job views so gateway-merged listings attribute jobs to shards.
+	node string
 
 	run func(ctx context.Context) (any, error)
 
@@ -169,6 +172,7 @@ func (j *Job) finish(status Status, result json.RawMessage, err error) {
 type jobView struct {
 	ID         string          `json:"id"`
 	Kind       string          `json:"kind"`
+	Node       string          `json:"node,omitempty"`
 	Status     Status          `json:"status"`
 	Error      string          `json:"error,omitempty"`
 	Progress   []string        `json:"progress,omitempty"`
@@ -188,6 +192,7 @@ func (j *Job) view(withResult bool) jobView {
 	v := jobView{
 		ID:        j.id,
 		Kind:      j.kind,
+		Node:      j.node,
 		Status:    j.status,
 		Error:     j.err,
 		Progress:  append([]string(nil), j.progress...),
@@ -215,6 +220,7 @@ type jobManager struct {
 	reg        *telemetry.Registry
 	jobTimeout time.Duration
 	retain     int
+	node       string // owning daemon's NodeID, stamped onto every job
 	// maxRetries is how many times a failed attempt (error, watchdog
 	// kill, or recovered panic) is re-run before the job fails for
 	// good; 0 disables retries. retryBase seeds the exponential
@@ -237,13 +243,14 @@ type jobManager struct {
 }
 
 func newJobManager(workers, depth int, jobTimeout time.Duration, retain, maxRetries int,
-	retryBase time.Duration, hooks *telemetry.Hooks, reg *telemetry.Registry) *jobManager {
+	retryBase time.Duration, node string, hooks *telemetry.Hooks, reg *telemetry.Registry) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
 		hooks:      hooks,
 		reg:        reg,
 		jobTimeout: jobTimeout,
 		retain:     retain,
+		node:       node,
 		maxRetries: maxRetries,
 		retryBase:  retryBase,
 		baseCtx:    ctx,
@@ -268,9 +275,16 @@ func (m *jobManager) submit(kind string, run func(ctx context.Context) (any, err
 		return nil, errDraining
 	}
 	m.nextID++
+	// Fleet daemons prefix their node name so job IDs are unique across
+	// a gateway's whole backend set, making gateway job lookups exact.
+	id := fmt.Sprintf("j%06d", m.nextID)
+	if m.node != "" {
+		id = m.node + "-" + id
+	}
 	j := &Job{
-		id:           fmt.Sprintf("j%06d", m.nextID),
+		id:           id,
 		kind:         kind,
+		node:         m.node,
 		run:          run,
 		status:       StatusQueued,
 		done:         make(chan struct{}),

@@ -89,6 +89,11 @@ type Config struct {
 	Registry *telemetry.Registry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// NodeID names this daemon within a fleet. When set, every response
+	// carries an X-Pac-Node header, /healthz and job views report the
+	// node, and the gateway uses it to attribute merged job listings.
+	// Empty (the default) keeps single-node behaviour unchanged.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -152,7 +157,7 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, reg: cfg.Registry, start: time.Now()}
 	s.hooks = telemetry.InstrumentedHooks(s.reg)
 	s.jobs = newJobManager(cfg.Concurrency, cfg.QueueDepth, cfg.JobTimeout,
-		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, s.hooks, s.reg)
+		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, cfg.NodeID, s.hooks, s.reg)
 	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress)
 	// Materialise the default session eagerly so the daemon's base
 	// options are always resident and experiment jobs share one memo.
@@ -233,14 +238,37 @@ func (w *statusWriter) Flush() {
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if s.cfg.NodeID != "" {
+			sw.Header().Set("X-Pac-Node", s.cfg.NodeID)
+		}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
+		route := routeLabel(r.URL.Path)
 		s.reg.Counter("pac_http_requests_total", "HTTP requests by route and status.",
-			"route", routeLabel(r.URL.Path), "code", strconv.Itoa(sw.code)).Inc()
+			"route", route, "code", strconv.Itoa(sw.code)).Inc()
+		if by := r.Header.Get(ForwardedByHeader); by != "" {
+			// Shard-aware view: requests that reached this node through a
+			// gateway, so a fleet dashboard can split direct from routed
+			// traffic per shard.
+			s.reg.Counter("pac_http_forwarded_requests_total",
+				"HTTP requests forwarded to this node by a gateway.",
+				"route", route, "by", by).Inc()
+		}
 		s.reg.Histogram("pac_http_request_seconds", "HTTP request latency.",
 			telemetry.DefaultDurationBuckets()).Observe(time.Since(start).Seconds())
 	})
 }
+
+// Fleet headers shared between the daemon and the gateway.
+const (
+	// ForwardedByHeader marks a request as routed through a gateway; the
+	// value names the forwarder.
+	ForwardedByHeader = "X-Pac-Forwarded-By"
+	// NodeHeader carries the serving node's NodeID on every response of
+	// a fleet-configured daemon (and the chosen backend on gateway
+	// responses).
+	NodeHeader = "X-Pac-Node"
+)
 
 // routeLabel collapses request paths into a bounded label set (job and
 // experiment IDs would otherwise explode series cardinality).
@@ -269,10 +297,14 @@ func routeLabel(path string) string {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":        "ok",
 		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
-	})
+	}
+	if s.cfg.NodeID != "" {
+		body["node"] = s.cfg.NodeID
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // writeJSON renders one response body.

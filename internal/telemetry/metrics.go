@@ -75,6 +75,18 @@ func (g *Gauge) Dec() { g.Add(-1) }
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// FuncGauge is a gauge whose value is computed by a callback at
+// exposition time — the natural shape for derived metrics (ratios,
+// set sizes) that would otherwise need a background updater. The
+// callback must be safe for concurrent use; it is invoked outside the
+// registry lock.
+type FuncGauge struct {
+	fn func() float64
+}
+
+// Value evaluates the callback.
+func (g *FuncGauge) Value() float64 { return g.fn() }
+
 // Histogram counts observations in a fixed set of upper-bound buckets
 // (plus the implicit +Inf bucket) and tracks their sum, matching the
 // Prometheus histogram model. It is safe for concurrent use.

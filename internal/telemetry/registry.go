@@ -79,6 +79,21 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a function-backed gauge series for name and label
+// pairs, evaluated at each exposition. Registering the same series twice
+// keeps the first callback; a func-backed series shares its family with
+// plain gauges (both expose as TYPE gauge).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	key := labelKey(labels)
+	if _, ok := f.series[key]; ok {
+		return
+	}
+	f.add(key, &FuncGauge{fn: fn})
+}
+
 // Histogram returns the fixed-bucket histogram series for name and label
 // pairs, creating it on first use. The bucket bounds of a family are
 // fixed by its first registration; later calls may pass nil.
@@ -125,6 +140,8 @@ func (r *Registry) Value(name string, labels ...string) (float64, bool) {
 	case *Counter:
 		return v.Value(), true
 	case *Gauge:
+		return v.Value(), true
+	case *FuncGauge:
 		return v.Value(), true
 	case *Histogram:
 		return float64(v.Count()), true
@@ -201,6 +218,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case *Counter:
 				fmt.Fprintf(&b, "%s%s %v\n", f.name, key, v.Value())
 			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %v\n", f.name, key, v.Value())
+			case *FuncGauge:
 				fmt.Fprintf(&b, "%s%s %v\n", f.name, key, v.Value())
 			case *Histogram:
 				writeHistogram(&b, f.name, key, v)

@@ -20,6 +20,7 @@ import (
 	"github.com/pacsim/pac/internal/core"
 	"github.com/pacsim/pac/internal/experiments"
 	"github.com/pacsim/pac/internal/fault"
+	"github.com/pacsim/pac/internal/gateway"
 	"github.com/pacsim/pac/internal/mem"
 	"github.com/pacsim/pac/internal/report"
 	"github.com/pacsim/pac/internal/server"
@@ -316,6 +317,30 @@ type (
 
 // NewServer builds a ready-to-serve pacd service.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Fleet layer (cmd/pacgw): a consistent-hash gateway that shards
+// requests across backend pacd nodes by their canonical session keys,
+// with health ejection and deterministic sweep fan-out. See
+// internal/gateway and DESIGN.md §10.
+type (
+	// GatewayConfig parameterises the fleet gateway.
+	GatewayConfig = gateway.Config
+	// Gateway routes fleet traffic; mount Handler on an http.Server and
+	// call Close on shutdown.
+	Gateway = gateway.Gateway
+	// GatewayRing is the SHA-256 virtual-node consistent-hash ring the
+	// gateway routes with.
+	GatewayRing = gateway.Ring
+)
+
+// NewGateway builds the fleet gateway and starts its health loop.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// NewGatewayRing creates a consistent-hash ring with the given virtual
+// replica count per node (<= 0 uses the gateway default of 128).
+func NewGatewayRing(replicas int, nodes ...string) *GatewayRing {
+	return gateway.NewRing(replicas, nodes...)
+}
 
 // Telemetry (internal/telemetry): the stdlib-only metrics layer the
 // simulator, session memo, and service record into.

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Cluster load benchmark: build the fleet (pacd x2, pacgw, pacload),
+# drive the gateway with a mixed hot/cold key stream from many
+# concurrent clients, and distill throughput, latency percentiles, and
+# affinity counters into BENCH_cluster.json. Later PRs compare against
+# this file to catch fleet-path performance regressions.
+#
+# Usage: scripts/bench_cluster.sh [out.json]
+# Env:   PACLOAD_CLIENTS (default 200), PACLOAD_REQUESTS (default 2000),
+#        PACLOAD_HOT_RATIO (default 0.95)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_cluster.json}"
+CLIENTS="${PACLOAD_CLIENTS:-200}"
+REQUESTS="${PACLOAD_REQUESTS:-2000}"
+HOT_RATIO="${PACLOAD_HOT_RATIO:-0.95}"
+GW_PORT="${PACGW_PORT:-18095}"
+B0_PORT=18096
+B1_PORT=18097
+GW="http://127.0.0.1:$GW_PORT"
+B0="http://127.0.0.1:$B0_PORT"
+B1="http://127.0.0.1:$B1_PORT"
+
+BINDIR="$(mktemp -d)"
+LOG="$(mktemp)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$BINDIR" "$LOG"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "bench-cluster: FAIL: $*" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+go build -o "$BINDIR/pacd" ./cmd/pacd
+go build -o "$BINDIR/pacgw" ./cmd/pacgw
+go build -o "$BINDIR/pacload" ./cmd/pacload
+
+"$BINDIR/pacd" -addr "127.0.0.1:$B0_PORT" -quick -node b0 >>"$LOG" 2>&1 &
+PIDS+=($!)
+"$BINDIR/pacd" -addr "127.0.0.1:$B1_PORT" -quick -node b1 >>"$LOG" 2>&1 &
+PIDS+=($!)
+
+wait_up() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "$1 did not come up"
+}
+wait_up "$B0"
+wait_up "$B1"
+
+"$BINDIR/pacgw" -addr "127.0.0.1:$GW_PORT" -backends "$B0,$B1" -quick >>"$LOG" 2>&1 &
+PIDS+=($!)
+wait_up "$GW"
+
+"$BINDIR/pacload" -gateway "$GW" -clients "$CLIENTS" -requests "$REQUESTS" \
+  -hot-ratio "$HOT_RATIO" -out "$OUT" || fail "pacload reported errors"
+
+echo "bench-cluster: wrote $OUT"
