@@ -4,8 +4,9 @@
 GO ?= go
 
 .PHONY: all build test test-short test-race smoke serve smoke-serve \
-        smoke-cluster bench-cluster chaos vet fmt bench bench-kernel \
-        bench-alloc test-alloc figures figures-quick examples fuzz clean
+        smoke-cluster smoke-store bench-cluster chaos vet fmt bench \
+        bench-kernel bench-alloc test-alloc figures figures-quick \
+        examples fuzz clean
 
 all: vet test build
 
@@ -44,6 +45,12 @@ smoke-serve:
 # ejection, and a clean gateway drain.
 smoke-cluster:
 	scripts/smoke_cluster.sh
+
+# End-to-end durable-store smoke: simulate → restart pacd → repeat is a
+# disk hit; warm boot seeds the memo; on a 3-node fleet a cold node
+# answers from a peer's store. Emits BENCH_store.json.
+smoke-store:
+	scripts/smoke_store.sh
 
 # Fleet load benchmark: pacload drives the gateway with a mixed hot/cold
 # key stream and distills throughput/latency/affinity into

@@ -7,6 +7,15 @@
 //	pacd -addr :8080
 //	pacd -addr :8080 -quick -pprof
 //	pacd -cores 8 -accesses 100000 -parallel 8 -queue 32
+//	pacd -store /var/lib/pacd -store-warm 256
+//	pacd -store /var/lib/pacd -peers http://b1:8081,http://b2:8082
+//
+// With -store, completed simulation results persist in a crash-safe,
+// content-addressed store under the given directory: restarts answer
+// repeat requests from disk (and warm the session cache from the index,
+// bounded by -store-warm), fleet peers exchange entries over GET
+// /v1/store/{key}, and -store-max-bytes/-store-max-entries cap the
+// on-disk footprint with LRU eviction.
 //
 // Endpoints (see internal/server and README "Running pacd"):
 //
@@ -28,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +63,13 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		node         = flag.String("node", "", "node name within a pacgw fleet (sets X-Pac-Node and job attribution)")
+
+		// Durable result store; empty -store keeps the daemon memory-only.
+		storeDir     = flag.String("store", "", "directory of the durable content-addressed result store (empty disables)")
+		storeWarm    = flag.Int("store-warm", 256, "max store entries that seed the session cache at boot (0 disables)")
+		storeBytes   = flag.Int64("store-max-bytes", 1<<30, "byte cap on stored entries, LRU-evicted beyond it (negative = no cap)")
+		storeEntries = flag.Int("store-max-entries", 1<<16, "count cap on stored entries, LRU-evicted beyond it (negative = no cap)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of fleet peers to ask on a store miss")
 
 		// Fault-plan flags of the default session; all zero (the default)
 		// disables injection. Per-request plans arrive through the
@@ -94,6 +111,30 @@ func main() {
 		opts.LLCBytes = 128 << 10
 	}
 
+	// One registry shared by the store and the server, so pac_store_* and
+	// the serving metrics land in the same /metrics exposition.
+	registry := pac.NewTelemetryRegistry()
+	var resultStore *pac.Store
+	if *storeDir != "" {
+		var err error
+		resultStore, err = pac.OpenStore(pac.StoreConfig{
+			Dir:        *storeDir,
+			MaxBytes:   *storeBytes,
+			MaxEntries: *storeEntries,
+			Registry:   registry,
+		})
+		if err != nil {
+			fail(err)
+		}
+		log.Printf("pacd: store %s (%d entries, %d bytes)", *storeDir, resultStore.Len(), resultStore.Bytes())
+	}
+	var peerURLs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerURLs = append(peerURLs, p)
+		}
+	}
+
 	srv := pac.NewServer(pac.ServerConfig{
 		Options:        opts,
 		Parallel:       *parallel,
@@ -105,7 +146,16 @@ func main() {
 		MaxRetries:     *maxRetries,
 		EnablePprof:    *pprofOn,
 		NodeID:         *node,
+		Registry:       registry,
+		Store:          resultStore,
+		StoreWarm:      *storeWarm,
+		Peers:          peerURLs,
 	})
+	if resultStore != nil {
+		if v, ok := srv.Registry().Value("pac_store_warmed_total"); ok {
+			log.Printf("pacd: store warm-up seeded %d session entries", int(v))
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -137,7 +187,23 @@ func main() {
 		log.Printf("pacd: http shutdown: %v", err)
 	}
 	if err := srv.Drain(drainCtx); err != nil {
+		if resultStore != nil {
+			resultStore.Close() // best-effort durability even on a bad drain
+		}
 		fail(fmt.Errorf("drain: %w", err))
+	}
+	if resultStore != nil {
+		// Flush after the drain so the write-throughs of the last in-flight
+		// jobs are in the index; Close compacts and fsyncs the journal, so
+		// the next boot replays a clean one-record-per-entry index. (An
+		// unclean kill is still safe — entry files are committed by rename
+		// and orphans are re-adopted — this just makes clean exits cheap.)
+		if err := resultStore.Flush(); err != nil {
+			log.Printf("pacd: store flush: %v", err)
+		}
+		if err := resultStore.Close(); err != nil {
+			log.Printf("pacd: store close: %v", err)
+		}
 	}
 	log.Printf("pacd: drained cleanly")
 }

@@ -39,6 +39,9 @@ type result struct {
 	latencyMS float64
 	cached    bool
 	backend   string
+	// cache is the X-Pac-Cache source of a synchronous response
+	// (memo|disk|peer|miss; empty on a 202 or an old backend).
+	cache string
 }
 
 func main() {
@@ -122,6 +125,7 @@ func main() {
 	lat := make([]float64, 0, len(results))
 	cached := 0
 	backends := map[string]int{}
+	cacheSources := map[string]int{}
 	var sum float64
 	for _, r := range results {
 		lat = append(lat, r.latencyMS)
@@ -131,6 +135,9 @@ func main() {
 		}
 		if r.backend != "" {
 			backends[r.backend]++
+		}
+		if r.cache != "" {
+			cacheSources[r.cache]++
 		}
 	}
 	sort.Float64s(lat)
@@ -175,6 +182,10 @@ func main() {
 			"ratio":  round4(ratio),
 		},
 		"backends": backends,
+		// Per-source hit split from the X-Pac-Cache headers: how many
+		// answers came from the session memo, the durable store, a fleet
+		// peer's store, or a fresh simulation.
+		"cacheSources": cacheSources,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -192,6 +203,15 @@ func main() {
 		"pacload: %d ok, %d errors, %d throttled in %.1fs — %.1f req/s, p99 %.1fms, affinity %.3f\n",
 		okCount.Load(), errCount.Load(), throttled.Load(), elapsed.Seconds(),
 		float64(okCount.Load())/elapsed.Seconds(), percentile(lat, 0.99), ratio)
+	if len(cacheSources) > 0 {
+		var parts []string
+		for _, src := range []string{"memo", "disk", "peer", "miss"} {
+			if n := cacheSources[src]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", src, n))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "pacload: cache sources: %s\n", strings.Join(parts, ", "))
+	}
 	if errCount.Load() > 0 {
 		os.Exit(1)
 	}
@@ -219,6 +239,7 @@ func issue(client *http.Client, url string, body []byte, maxRetry int,
 				latencyMS: float64(time.Since(start).Microseconds()) / 1000,
 				cached:    bytes.Contains(payload, []byte(`"cached": true`)),
 				backend:   resp.Header.Get("X-Pac-Backend"),
+				cache:     resp.Header.Get("X-Pac-Cache"),
 			}, nil
 		case resp.StatusCode == http.StatusTooManyRequests && attempt < maxRetry:
 			throttled.Add(1)

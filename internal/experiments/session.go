@@ -170,6 +170,28 @@ func (s *Session) Memoized(bench string, mode coalesce.Mode) bool {
 	}
 }
 
+// Seed installs an already-completed result into the memo — the durable
+// result store's path back into a session, at warm boot and on disk or
+// peer cache hits. The entry is created pre-resolved, so later Result
+// calls for the combination return res without running a simulation. A
+// combination that already has a memo entry (completed or in flight) is
+// left untouched and Seed reports false.
+func (s *Session) Seed(bench string, mode coalesce.Mode, res *sim.Result) bool {
+	if res == nil {
+		return false
+	}
+	k := simKey{bench, mode, varDefault}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.sims[k]; exists {
+		return false
+	}
+	done := make(chan struct{})
+	close(done)
+	s.sims[k] = &memoEntry[*sim.Result]{done: done, val: res, cancel: func() {}}
+	return true
+}
+
 // result is the context-free recall used by the experiment drivers;
 // their cancellation happens through Precompute, which executes every
 // declared need with the caller's context before the tables render.

@@ -1,0 +1,97 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/pacsim/pac/internal/server"
+)
+
+// TestSimulateCarriesPeerHints: a routed simulate request must arrive at
+// the backend with an X-Pac-Peers header naming the key's other live
+// ring candidates — the fleet cache-exchange hint set — and those hints
+// must never include the serving backend itself.
+func TestSimulateCarriesPeerHints(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]string{} // backend URL -> peers header received
+	stub := func(self *string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			seen[*self] = r.Header.Get(server.PeersHeader)
+			mu.Unlock()
+			w.Write([]byte(`{"status": "done", "result": {"cached": false}}`))
+		}
+	}
+	var urls [3]string
+	backends := make([]string, 3)
+	for i := range backends {
+		ts := newStubBackend(t, func() bool { return true }, stub(&urls[i]))
+		urls[i] = ts.URL
+		backends[i] = ts.URL
+	}
+	_, front := testGateway(t, backends, nil)
+
+	for _, bench := range []string{"GS", "STREAM", "BFS", "FFT", "SORT"} {
+		resp, _ := postJSON(t, front.URL+"/v1/simulate", `{"benchmark": "`+bench+`"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %s = %d", bench, resp.StatusCode)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 {
+		t.Fatal("no backend saw a simulate request")
+	}
+	for self, hdr := range seen {
+		if hdr == "" {
+			t.Errorf("backend %s received no %s header", self, server.PeersHeader)
+			continue
+		}
+		peers := strings.Split(hdr, ",")
+		if len(peers) != 2 {
+			t.Errorf("backend %s: %d peer hints %q, want the 2 other nodes", self, len(peers), hdr)
+		}
+		for _, p := range peers {
+			if p == self {
+				t.Errorf("backend %s listed as its own peer in %q", self, hdr)
+			}
+		}
+	}
+}
+
+// TestJobForwardOmitsPeerHints: only the simulate path carries cache
+// hints; job lookups and listings must not.
+func TestJobForwardOmitsPeerHints(t *testing.T) {
+	var mu sync.Mutex
+	sawJobsHeader := false
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status": "ok"}`))
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		if r.Header.Get(server.PeersHeader) != "" {
+			sawJobsHeader = true
+		}
+		mu.Unlock()
+		w.Write([]byte(`{"jobs": []}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	_, front := testGateway(t, []string{ts.URL}, nil)
+
+	resp, err := http.Get(front.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	mu.Lock()
+	defer mu.Unlock()
+	if sawJobsHeader {
+		t.Errorf("job listing carried %s", server.PeersHeader)
+	}
+}

@@ -155,10 +155,14 @@ type SimulateResult struct {
 	Benchmark  string `json:"benchmark"`
 	Mode       string `json:"mode"`
 	ConfigHash string `json:"configHash"`
-	// Cached reports whether the result came from the session memo
-	// without running a new simulation.
+	// Cached reports whether the result was served without running a new
+	// simulation (from the memo, the durable store, or a fleet peer).
 	Cached bool `json:"cached"`
-	Result any  `json:"result"`
+	// Cache names the source the result came from: memo|disk|peer|miss.
+	// The same value rides the X-Pac-Cache header on synchronous
+	// responses.
+	Cache  string `json:"cache"`
+	Result any    `json:"result"`
 }
 
 // ExperimentResult is the payload of a finished experiment job.
@@ -263,24 +267,80 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, optsKey := s.pool.session(opts)
 	hash := configHash(optsKey, bench, mode)
+	peers := peerList(s.cfg.Peers, r.Header.Get(PeersHeader))
 	job, err := s.jobs.submit("simulate", func(ctx context.Context) (any, error) {
-		cached := sess.Memoized(bench, mode)
+		// Resolve the cache source cheapest-first: session memo, local
+		// durable store, fleet peers, then a fresh simulation. Disk and
+		// peer hits are seeded into the memo, so sess.Result below is a
+		// pure lookup for every source except a true miss. Concurrent
+		// misses for the same key still share one run: Seed is a no-op
+		// against an in-flight entry and Result joins it.
+		source := CacheMemo
+		if !sess.Memoized(bench, mode) {
+			source = CacheMiss
+			if e, ok := s.storeLookup(hash, optsKey, bench, mode); ok {
+				sess.Seed(bench, mode, e.Result)
+				source = CacheDisk
+			} else if e, ok := s.peerLookup(ctx, peers, hash, optsKey, bench, mode); ok {
+				sess.Seed(bench, mode, e.Result)
+				source = CachePeer
+			}
+		}
 		res, err := sess.Result(ctx, bench, mode)
 		if err != nil {
 			return nil, err
 		}
+		s.storeWrite(hash, optsKey, bench, mode, opts, res)
 		return SimulateResult{
 			Benchmark:  bench,
 			Mode:       mode.String(),
 			ConfigHash: hash,
-			Cached:     cached,
+			Cached:     source != CacheMiss,
+			Cache:      source,
 			Result:     res,
 		}, nil
 	})
 	if !s.submitted(w, job, err) {
 		return
 	}
-	s.respondJob(w, r, job)
+	s.respondSimulate(w, r, job)
+}
+
+// respondSimulate is respondJob plus the X-Pac-Cache header: when the
+// job completed inside the wait window, the cache source recorded in its
+// result is surfaced for operators (and propagated verbatim by the
+// gateway's relay).
+func (s *Server) respondSimulate(w http.ResponseWriter, r *http.Request, job *Job) {
+	wait, err := waitWindow(r, s.cfg.RequestTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if wait > 0 && s.await(r.Context(), job, wait) {
+		view := job.view(true)
+		if src := cacheSource(view.Result); src != "" {
+			w.Header().Set(CacheHeader, src)
+		}
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, job.view(false))
+}
+
+// cacheSource extracts the "cache" field from a terminal simulate
+// result; empty when the job failed or carries no such field.
+func cacheSource(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	var probe struct {
+		Cache string `json:"cache"`
+	}
+	if json.Unmarshal(raw, &probe) != nil {
+		return ""
+	}
+	return probe.Cache
 }
 
 func (s *Server) handleListExperiments(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/pacsim/pac/internal/coalesce"
+	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/fault"
+)
+
+// TestOptionsHashGolden pins the canonical hash for a fixed set of
+// option structs. These hashes are load-bearing far beyond this package:
+// they key the durable result store's on-disk files, the gateway's
+// consistent-hash routing, and the session memo pool. A refactor that
+// changes them (field rename, reordering, new JSON tag, a new field
+// without a zero-value guard) silently orphans every stored entry and
+// reshuffles fleet routing — so any intentional change here must come
+// with a store format/version bump and a note in DESIGN.md §11.
+func TestOptionsHashGolden(t *testing.T) {
+	norm := func(o experiments.Options) experiments.Options {
+		return experiments.NewSession(o).Options()
+	}
+	cases := []struct {
+		name string
+		opts experiments.Options
+		want string
+	}{
+		{"zero-defaults", norm(experiments.Options{}), "622965df005ccd96"},
+		{"tab1-scale", norm(experiments.Options{
+			Cores: 8, AccessesPerCore: 100_000, Scale: 1, Seed: 42,
+		}), "a10b7fce1dca0c75"},
+		{"quick", norm(experiments.Options{
+			Cores: 2, AccessesPerCore: 5_000, Scale: 0.02, Seed: 42,
+			L1Bytes: 2 << 10, LLCBytes: 128 << 10,
+		}), "3c8e72c740eaab83"},
+		{"fault-plan", norm(experiments.Options{
+			Cores: 4, AccessesPerCore: 10_000, Scale: 0.5, Seed: 7,
+			Faults: fault.Config{
+				LinkCRCRate: 0.01, PoisonRate: 0.001,
+				VaultStallInterval: 5_000, VaultStallCycles: 200, Seed: 9,
+			},
+		}), "73ea081b4f773686"},
+	}
+	for _, c := range cases {
+		if got := OptionsHash(c.opts); got != c.want {
+			t.Errorf("%s: OptionsHash = %s, want %s — changing this orphans "+
+				"every durable store entry and remaps fleet routing; if "+
+				"intentional, bump the store format version", c.name, got, c.want)
+		}
+	}
+
+	// Parallel is explicitly excluded from the hash: worker count never
+	// changes results, so it must never change the content address.
+	withWorkers := norm(experiments.Options{Cores: 8, AccessesPerCore: 100_000, Scale: 1, Seed: 42})
+	withWorkers.Parallel = 16
+	if got := OptionsHash(withWorkers); got != "a10b7fce1dca0c75" {
+		t.Errorf("Parallel leaked into OptionsHash: %s", got)
+	}
+}
+
+// TestSimKeyGolden pins the derived per-simulation key (the store file
+// name and gateway routing key) for fixed inputs.
+func TestSimKeyGolden(t *testing.T) {
+	tab1 := OptionsHash(experiments.NewSession(experiments.Options{
+		Cores: 8, AccessesPerCore: 100_000, Scale: 1, Seed: 42,
+	}).Options())
+	quick := OptionsHash(experiments.NewSession(experiments.Options{
+		Cores: 2, AccessesPerCore: 5_000, Scale: 0.02, Seed: 42,
+		L1Bytes: 2 << 10, LLCBytes: 128 << 10,
+	}).Options())
+	cases := []struct {
+		optsKey string
+		bench   string
+		mode    coalesce.Mode
+		want    string
+	}{
+		{tab1, "STREAM", coalesce.ModePAC, "fac8c79b8eafbe46"},
+		{tab1, "GS", coalesce.ModeNone, "9177d8aa92c8ee2e"},
+		{quick, "FFT", coalesce.ModeDMC, "62e7e6f0f63f45eb"},
+	}
+	for _, c := range cases {
+		if got := SimKey(c.optsKey, c.bench, c.mode); got != c.want {
+			t.Errorf("SimKey(%s, %s, %s) = %s, want %s — see TestOptionsHashGolden",
+				c.optsKey, c.bench, c.mode, got, c.want)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 //	GET    /v1/jobs/{id}[?wait=30s]  job state, optionally long-polling
 //	GET    /v1/jobs/{id}/events      SSE progress stream
 //	DELETE /v1/jobs/{id}             cancel a queued or running job
+//	GET    /v1/store/{key}           raw durable-store entry (peer exchange)
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus text exposition
 //	/debug/pprof/*                   optional (Config.EnablePprof)
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/store"
 	"github.com/pacsim/pac/internal/telemetry"
 )
 
@@ -94,6 +96,23 @@ type Config struct {
 	// node, and the gateway uses it to attribute merged job listings.
 	// Empty (the default) keeps single-node behaviour unchanged.
 	NodeID string
+	// Store, when set, is the durable content-addressed result store:
+	// simulate requests consult it on a memo miss, completed results are
+	// written through, GET /v1/store/{key} serves raw entries to fleet
+	// peers, and the session pool is warmed from its index at boot. Nil
+	// (the default) keeps the daemon memory-only. The caller owns the
+	// store's lifecycle (cmd/pacd opens it before New and closes it
+	// after Drain).
+	Store *store.Store
+	// StoreWarm bounds how many store entries seed the session pool at
+	// boot (most recently used first). Zero or negative disables
+	// warm-up.
+	StoreWarm int
+	// Peers lists base URLs of fleet peers to ask on a local store miss
+	// (in addition to any per-request X-Pac-Peers hints from a gateway).
+	Peers []string
+	// PeerTimeout caps each peer store fetch (default 3s).
+	PeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -133,35 +152,51 @@ func (c Config) withDefaults() Config {
 	if c.Parallel <= 0 {
 		c.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 3 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
 	return c
 }
 
-// Server wires the job manager, the session pool, and the HTTP mux.
+// Server wires the job manager, the session pool, the durable store,
+// and the HTTP mux.
 type Server struct {
-	cfg   Config
-	reg   *telemetry.Registry
-	hooks *telemetry.Hooks
-	pool  *sessionPool
-	jobs  *jobManager
-	mux   http.Handler
-	start time.Time
+	cfg        Config
+	reg        *telemetry.Registry
+	hooks      *telemetry.Hooks
+	pool       *sessionPool
+	jobs       *jobManager
+	store      *store.Store
+	peerClient *http.Client
+	peerHits   *telemetry.Counter
+	peerMisses *telemetry.Counter
+	mux        http.Handler
+	start      time.Time
 }
 
 // New builds a ready-to-serve server; callers mount Handler on an
 // http.Server and call Drain on shutdown.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, reg: cfg.Registry, start: time.Now()}
+	s := &Server{cfg: cfg, reg: cfg.Registry, store: cfg.Store, start: time.Now()}
 	s.hooks = telemetry.InstrumentedHooks(s.reg)
+	s.peerClient = &http.Client{Timeout: cfg.PeerTimeout}
+	s.peerHits = s.reg.Counter("pac_store_peer_hits_total",
+		"Store misses answered by a fleet peer's store.")
+	s.peerMisses = s.reg.Counter("pac_store_peer_misses_total",
+		"Peer store lookups that found no peer with the entry.")
 	s.jobs = newJobManager(cfg.Concurrency, cfg.QueueDepth, cfg.JobTimeout,
 		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, cfg.NodeID, s.hooks, s.reg)
 	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress)
 	// Materialise the default session eagerly so the daemon's base
 	// options are always resident and experiment jobs share one memo.
 	s.pool.session(s.defaultOptions())
+	if s.store != nil && cfg.StoreWarm > 0 {
+		s.warmFromStore(cfg.StoreWarm)
+	}
 	s.mux = s.routes()
 	return s
 }
@@ -191,6 +226,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -287,6 +323,8 @@ func routeLabel(path string) string {
 			return "/v1/experiments/{id}/run"
 		}
 		return "/v1/experiments"
+	case strings.HasPrefix(path, "/v1/store/"):
+		return "/v1/store/{key}"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "/debug/pprof"
 	case path == "/v1/simulate", path == "/healthz", path == "/metrics":

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Gob support for the accumulator types, used by the durable result
+// store (internal/store) to serialize sim.Result values that embed them.
+// Both codecs are exact: the raw IEEE-754 bits of every float and the
+// raw bin counts round-trip unchanged, so a decoded accumulator renders
+// byte-identical JSON and returns bit-identical Value()/Percentile()
+// answers. (The JSON codec in json.go is lossy by design — it stores the
+// mean, not the sum — which is why the store does not reuse it.)
+
+// GobEncode encodes the accumulator as four fixed 64-bit fields
+// (n, sum, min, max).
+func (m Mean) GobEncode() ([]byte, error) {
+	buf := make([]byte, 32)
+	binary.BigEndian.PutUint64(buf[0:], uint64(m.n))
+	binary.BigEndian.PutUint64(buf[8:], math.Float64bits(m.sum))
+	binary.BigEndian.PutUint64(buf[16:], math.Float64bits(m.min))
+	binary.BigEndian.PutUint64(buf[24:], math.Float64bits(m.max))
+	return buf, nil
+}
+
+// GobDecode restores an accumulator encoded by GobEncode.
+func (m *Mean) GobDecode(data []byte) error {
+	if len(data) != 32 {
+		return fmt.Errorf("stats: Mean gob payload is %d bytes, want 32", len(data))
+	}
+	m.n = int64(binary.BigEndian.Uint64(data[0:]))
+	m.sum = math.Float64frombits(binary.BigEndian.Uint64(data[8:]))
+	m.min = math.Float64frombits(binary.BigEndian.Uint64(data[16:]))
+	m.max = math.Float64frombits(binary.BigEndian.Uint64(data[24:]))
+	if m.n < 0 {
+		return fmt.Errorf("stats: negative observation count %d", m.n)
+	}
+	return nil
+}
+
+// GobEncode encodes the histogram as n, the bin count, and the raw bins,
+// all as uvarints (bins are non-negative counts, so varints stay small).
+func (h Histogram) GobEncode() ([]byte, error) {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(h.bins)*2)
+	buf = binary.AppendUvarint(buf, uint64(h.n))
+	buf = binary.AppendUvarint(buf, uint64(len(h.bins)))
+	for _, c := range h.bins {
+		if c < 0 {
+			return nil, fmt.Errorf("stats: negative bin count %d", c)
+		}
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return buf, nil
+}
+
+// GobDecode restores a histogram encoded by GobEncode, validating that
+// the bins sum to n.
+func (h *Histogram) GobDecode(data []byte) error {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return fmt.Errorf("stats: truncated Histogram gob payload")
+	}
+	data = data[k:]
+	bins, k := binary.Uvarint(data)
+	if k <= 0 {
+		return fmt.Errorf("stats: truncated Histogram gob payload")
+	}
+	data = data[k:]
+	if bins > uint64(len(data)) { // each bin takes >= 1 byte
+		return fmt.Errorf("stats: Histogram gob claims %d bins in %d bytes", bins, len(data))
+	}
+	out := make([]int64, 0, bins)
+	var total int64
+	for i := uint64(0); i < bins; i++ {
+		c, k := binary.Uvarint(data)
+		if k <= 0 {
+			return fmt.Errorf("stats: truncated Histogram gob payload")
+		}
+		data = data[k:]
+		out = append(out, int64(c))
+		total += int64(c)
+	}
+	if total != int64(n) {
+		return fmt.Errorf("stats: bin sum %d != n %d", total, n)
+	}
+	if bins == 0 {
+		out = nil
+	}
+	h.bins = out
+	h.n = int64(n)
+	return nil
+}

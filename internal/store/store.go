@@ -1,0 +1,779 @@
+// Package store is the durable, content-addressed result store beneath
+// the pacd session memo. Completed simulation results are serialized as
+// write-once entry files keyed by the canonical options-hash + sim-key
+// address (server.SimKey), committed crash-safely via temp-file + rename,
+// and tracked by an append-only index journal that is replayed and
+// compacted on boot. Identical configurations resolve to identical,
+// durably stored results — the property that lets a restarted daemon (or
+// a cold fleet peer) answer repeat requests from disk instead of
+// re-simulating.
+//
+// Layout inside the store directory:
+//
+//	<key>.res      one write-once entry (versioned header, gob payload,
+//	               SHA-256 checksum); committed by rename, never rewritten
+//	               in place
+//	index.journal  append-only records ("put", "touch", "del"), each line
+//	               CRC-guarded; replayed on Open to rebuild the index and
+//	               the LRU order, then compacted to one "put" per live
+//	               entry
+//
+// Corrupt or truncated entries and journal lines are detected by
+// checksum, counted in pac_store_corrupt_total, and skipped — never
+// fatal. A crash between an entry rename and its journal append is
+// recovered on the next Open: orphan entry files that pass validation
+// are adopted back into the index.
+//
+// The store is safe for concurrent use. Entry files are immutable once
+// renamed into place, so readers never see torn writes; concurrent
+// writers of the same key each stage their own temp file and the last
+// rename wins.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/pacsim/pac/internal/experiments"
+	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/telemetry"
+)
+
+// Entry is one stored simulation result with the identity needed to
+// verify and re-seed it: the content address it lives under, the
+// canonical options hash plus benchmark/mode it answers, and the full
+// normalized options a warm-booting daemon rebuilds the session from.
+type Entry struct {
+	// Key is the content address (server.SimKey) the entry is stored
+	// under; DecodeEntry verifies it against the envelope header.
+	Key string
+	// OptionsHash is the canonical hash of Options
+	// (server.OptionsHash); readers match it against their own resolved
+	// request to guard against key collisions and stale foreign files.
+	OptionsHash string
+	// Benchmark and Mode name the simulation.
+	Benchmark string
+	Mode      string
+	// Options are the fully-specified normalized options the result ran
+	// under, sufficient to reconstruct the owning session at warm boot.
+	Options experiments.Options
+	// Result is the completed simulation result, fault stats and
+	// skipped-cycle bookkeeping included.
+	Result *sim.Result
+}
+
+// Config parameterises Open. Dir is required.
+type Config struct {
+	// Dir is the store directory; created if missing.
+	Dir string
+	// MaxBytes caps the summed entry-file size; the least recently used
+	// entries are evicted beyond it (default 1 GiB, negative = no cap).
+	MaxBytes int64
+	// MaxEntries caps the entry count the same way (default 65536,
+	// negative = no cap).
+	MaxEntries int
+	// Registry receives the pac_store_* metrics; nil creates a fresh
+	// (unexposed) one.
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 1 << 30
+	}
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 1 << 16
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// ErrCorrupt marks an envelope or journal record that failed validation;
+// callers treat it as a miss, never as a fatal condition.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// Envelope constants: an 8-byte magic, a version, the key, the payload
+// length, the payload's SHA-256, then the gob payload.
+const (
+	magic      = "PACSTOR1"
+	version    = 1
+	journal    = "index.journal"
+	entryExt   = ".res"
+	maxKeyLen  = 256
+	maxPayload = 1 << 30 // decode guard against absurd length fields
+)
+
+// idxEntry is the in-memory index record of one stored entry.
+type idxEntry struct {
+	key  string
+	size int64
+	seq  int64 // LRU recency: larger = more recently used
+}
+
+// Store is the durable result store; build with Open, close with Close.
+type Store struct {
+	cfg Config
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*idxEntry
+	bytes   int64
+	seq     int64
+	jf      *os.File // append handle on the index journal
+	records int      // journal records since the last compaction
+	closed  bool
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	writes    *telemetry.Counter
+	evictions *telemetry.Counter
+	corrupt   *telemetry.Counter
+}
+
+// Open creates or reopens the store at cfg.Dir: it replays the index
+// journal (skipping corrupt or truncated lines), reconciles the index
+// against the entry files actually on disk — dropping index records
+// whose file vanished and adopting valid orphan files left by a crash
+// between rename and journal append — then compacts the journal to one
+// record per live entry and enforces the size caps.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		cfg:     cfg,
+		dir:     cfg.Dir,
+		entries: make(map[string]*idxEntry),
+	}
+	reg := cfg.Registry
+	s.hits = reg.Counter("pac_store_hits_total", "Result-store reads served from disk.")
+	s.misses = reg.Counter("pac_store_misses_total", "Result-store reads that found no usable entry.")
+	s.writes = reg.Counter("pac_store_writes_total", "Result-store entries committed to disk.")
+	s.evictions = reg.Counter("pac_store_evictions_total", "Result-store entries evicted by the size caps.")
+	s.corrupt = reg.Counter("pac_store_corrupt_total", "Corrupt or truncated store entries and journal lines skipped.")
+	reg.GaugeFunc("pac_store_bytes", "Summed size of the stored entry files.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.bytes)
+	})
+	reg.GaugeFunc("pac_store_entries", "Entries resident in the result store.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.entries))
+	})
+
+	if err := s.replayJournal(); err != nil {
+		return nil, err
+	}
+	if err := s.reconcile(); err != nil {
+		return nil, err
+	}
+	if err := s.compactLocked(); err != nil {
+		return nil, err
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// journalPath returns the live journal's path.
+func (s *Store) journalPath() string { return filepath.Join(s.dir, journal) }
+
+// entryPath returns the entry file path for a key. Keys are hex strings
+// (content addresses); anything else is rejected before it reaches the
+// filesystem.
+func (s *Store) entryPath(key string) string {
+	return filepath.Join(s.dir, key+entryExt)
+}
+
+// ValidKey reports whether key is a plausible content address: non-empty
+// lowercase hex, bounded length. It is the only key shape the store (and
+// the /v1/store/{key} endpoint) accepts, which keeps keys path-safe.
+func ValidKey(key string) bool {
+	if key == "" || len(key) > maxKeyLen {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// replayJournal rebuilds the index from the append-only journal,
+// skipping malformed or CRC-failing lines (a torn final line after a
+// crash is the common case).
+func (s *Store) replayJournal() error {
+	blob, err := os.ReadFile(s.journalPath())
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: reading journal: %w", err)
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if line == "" {
+			continue
+		}
+		op, key, size, ok := parseRecord(line)
+		if !ok {
+			s.corrupt.Inc()
+			continue
+		}
+		s.seq++
+		switch op {
+		case "put":
+			if e, exists := s.entries[key]; exists {
+				s.bytes += size - e.size
+				e.size = size
+				e.seq = s.seq
+			} else {
+				s.entries[key] = &idxEntry{key: key, size: size, seq: s.seq}
+				s.bytes += size
+			}
+		case "touch":
+			if e, exists := s.entries[key]; exists {
+				e.seq = s.seq
+			}
+		case "del":
+			if e, exists := s.entries[key]; exists {
+				s.bytes -= e.size
+				delete(s.entries, key)
+			}
+		}
+	}
+	return nil
+}
+
+// reconcile walks the store directory: index records whose entry file is
+// gone are dropped; entry files the journal never committed (a crash
+// between rename and append) are validated and adopted; stray temp files
+// are removed.
+func (s *Store) reconcile() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	onDisk := make(map[string]int64)
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case strings.HasPrefix(name, ".tmp-"):
+			os.Remove(filepath.Join(s.dir, name)) // staged write that never committed
+		case strings.HasSuffix(name, entryExt):
+			key := strings.TrimSuffix(name, entryExt)
+			if !ValidKey(key) {
+				continue
+			}
+			if info, err := de.Info(); err == nil {
+				onDisk[key] = info.Size()
+			}
+		}
+	}
+	for key, e := range s.entries {
+		size, exists := onDisk[key]
+		if !exists {
+			s.bytes -= e.size
+			delete(s.entries, key)
+			continue
+		}
+		if size != e.size { // rewritten after the journal record; trust disk
+			s.bytes += size - e.size
+			e.size = size
+		}
+	}
+	for key, size := range onDisk {
+		if _, exists := s.entries[key]; exists {
+			continue
+		}
+		// Orphan: validate before adopting, delete when corrupt.
+		blob, err := os.ReadFile(s.entryPath(key))
+		if err != nil {
+			continue
+		}
+		if _, err := DecodeEntry(key, blob); err != nil {
+			s.corrupt.Inc()
+			os.Remove(s.entryPath(key))
+			continue
+		}
+		s.seq++
+		s.entries[key] = &idxEntry{key: key, size: size, seq: s.seq}
+		s.bytes += size
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Journal records. One line per operation:
+//
+//	<op> <key> <size>#<crc32-hex>\n
+//
+// The CRC covers everything before the '#'. A line that fails to parse
+// or verify is skipped on replay.
+
+func formatRecord(op, key string, size int64) string {
+	body := op + " " + key + " " + strconv.FormatInt(size, 10)
+	return body + "#" + strconv.FormatUint(uint64(crc32.ChecksumIEEE([]byte(body))), 16) + "\n"
+}
+
+func parseRecord(line string) (op, key string, size int64, ok bool) {
+	hash := strings.LastIndexByte(line, '#')
+	if hash < 0 {
+		return "", "", 0, false
+	}
+	body, sum := line[:hash], line[hash+1:]
+	want, err := strconv.ParseUint(sum, 16, 32)
+	if err != nil || crc32.ChecksumIEEE([]byte(body)) != uint32(want) {
+		return "", "", 0, false
+	}
+	fields := strings.Fields(body)
+	if len(fields) != 3 || !ValidKey(fields[1]) {
+		return "", "", 0, false
+	}
+	size, err = strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || size < 0 {
+		return "", "", 0, false
+	}
+	switch fields[0] {
+	case "put", "touch", "del":
+		return fields[0], fields[1], size, true
+	}
+	return "", "", 0, false
+}
+
+// appendRecord writes one journal record through the append handle,
+// opening it lazily. Called with s.mu held.
+func (s *Store) appendRecordLocked(op, key string, size int64) error {
+	if s.jf == nil {
+		f, err := os.OpenFile(s.journalPath(), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: opening journal: %w", err)
+		}
+		s.jf = f
+	}
+	if _, err := s.jf.WriteString(formatRecord(op, key, size)); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	s.records++
+	// Access churn grows the journal without bound; fold it back into
+	// one record per live entry once it clearly dominates.
+	if s.records > 4*len(s.entries)+1024 {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal as one "put" per live entry in LRU
+// order (oldest first, so replay reproduces the recency order), fsyncs
+// it, and atomically replaces the old journal. Called with s.mu held (or
+// from Open before the store is shared).
+func (s *Store) compactLocked() error {
+	ordered := make([]*idxEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+
+	tmp := s.journalPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compacting journal: %w", err)
+	}
+	var buf bytes.Buffer
+	for _, e := range ordered {
+		buf.WriteString(formatRecord("put", e.key, e.size))
+	}
+	if _, err := f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp, s.journalPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compacting journal: %w", err)
+	}
+	// Replace the append handle: the old one points at the unlinked file.
+	if s.jf != nil {
+		s.jf.Close()
+		s.jf = nil
+	}
+	s.records = len(ordered)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Envelope encode/decode.
+
+// EncodeEntry serializes an entry into its on-disk envelope: magic,
+// version, key, payload length, payload SHA-256, gob payload.
+func EncodeEntry(e Entry) ([]byte, error) {
+	if !ValidKey(e.Key) {
+		return nil, fmt.Errorf("store: invalid key %q", e.Key)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(e); err != nil {
+		return nil, fmt.Errorf("store: encoding entry: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	var out bytes.Buffer
+	out.Grow(len(magic) + 2 + 2 + len(e.Key) + 8 + len(sum) + payload.Len())
+	out.WriteString(magic)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], version)
+	out.Write(u16[:])
+	binary.BigEndian.PutUint16(u16[:], uint16(len(e.Key)))
+	out.Write(u16[:])
+	out.WriteString(e.Key)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(payload.Len()))
+	out.Write(u64[:])
+	out.Write(sum[:])
+	out.Write(payload.Bytes())
+	return out.Bytes(), nil
+}
+
+// DecodeEntry validates an envelope (magic, version, key match, length,
+// checksum) and decodes its payload. Every validation failure wraps
+// ErrCorrupt. An empty wantKey skips the key comparison.
+func DecodeEntry(wantKey string, blob []byte) (Entry, error) {
+	fail := func(msg string) (Entry, error) {
+		return Entry{}, fmt.Errorf("%w: %s", ErrCorrupt, msg)
+	}
+	if len(blob) < len(magic)+2+2 {
+		return fail("short header")
+	}
+	if string(blob[:len(magic)]) != magic {
+		return fail("bad magic")
+	}
+	blob = blob[len(magic):]
+	if v := binary.BigEndian.Uint16(blob); v != version {
+		return fail(fmt.Sprintf("unsupported version %d", v))
+	}
+	blob = blob[2:]
+	keyLen := int(binary.BigEndian.Uint16(blob))
+	blob = blob[2:]
+	if keyLen > maxKeyLen || len(blob) < keyLen+8+sha256.Size {
+		return fail("truncated header")
+	}
+	key := string(blob[:keyLen])
+	blob = blob[keyLen:]
+	if wantKey != "" && key != wantKey {
+		return fail(fmt.Sprintf("key mismatch: envelope %s", key))
+	}
+	payLen := binary.BigEndian.Uint64(blob)
+	blob = blob[8:]
+	var sum [sha256.Size]byte
+	copy(sum[:], blob)
+	blob = blob[sha256.Size:]
+	if payLen > maxPayload || uint64(len(blob)) != payLen {
+		return fail("truncated payload")
+	}
+	if sha256.Sum256(blob) != sum {
+		return fail("checksum mismatch")
+	}
+	var e Entry
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&e); err != nil {
+		return fail("payload decode: " + err.Error())
+	}
+	if e.Key != key {
+		return fail("payload/envelope key mismatch")
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------
+// Public operations.
+
+// Put serializes and durably commits one entry, then enforces the size
+// caps. Concurrent Puts of the same key are safe: each stages its own
+// temp file and the last rename wins, atomically.
+func (s *Store) Put(e Entry) error {
+	blob, err := EncodeEntry(e)
+	if err != nil {
+		return err
+	}
+	return s.PutRaw(e.Key, blob)
+}
+
+// PutRaw commits an already-encoded envelope (the peer-exchange path:
+// the fetching node validates the blob with DecodeEntry first, then
+// stores the identical bytes). The envelope is re-validated here, so a
+// corrupt blob can never enter the store.
+func (s *Store) PutRaw(key string, blob []byte) error {
+	if _, err := DecodeEntry(key, blob); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("store: closed")
+	}
+	s.seq++
+	staged := filepath.Join(s.dir, fmt.Sprintf(".tmp-%s-%d", key, s.seq))
+	s.mu.Unlock()
+
+	// Stage outside the lock: write, fsync, rename. The rename is the
+	// commit point; a crash before it leaves only a .tmp- file that the
+	// next Open sweeps away.
+	f, err := os.OpenFile(staged, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: staging entry: %w", err)
+	}
+	if _, err = f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(staged)
+		return fmt.Errorf("store: staging entry: %w", err)
+	}
+	if err := os.Rename(staged, s.entryPath(key)); err != nil {
+		os.Remove(staged)
+		return fmt.Errorf("store: committing entry: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	size := int64(len(blob))
+	s.seq++
+	if e, exists := s.entries[key]; exists {
+		s.bytes += size - e.size
+		e.size = size
+		e.seq = s.seq
+	} else {
+		s.entries[key] = &idxEntry{key: key, size: size, seq: s.seq}
+		s.bytes += size
+	}
+	s.writes.Inc()
+	if err := s.appendRecordLocked("put", key, size); err != nil {
+		return err
+	}
+	s.evictLocked()
+	return nil
+}
+
+// Get loads and validates the entry for key. A corrupt file is counted,
+// removed, and reported as a miss — never an error. A hit refreshes the
+// key's LRU recency.
+func (s *Store) Get(key string) (Entry, bool) {
+	blob, ok := s.getRaw(key)
+	if !ok {
+		return Entry{}, false
+	}
+	e, err := DecodeEntry(key, blob)
+	if err != nil {
+		s.discardCorrupt(key)
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// GetRaw returns the raw validated envelope bytes for key — the
+// peer-exchange serving path (GET /v1/store/{key} streams these bytes
+// verbatim, checksum included, so the fetching node can re-verify them).
+func (s *Store) GetRaw(key string) ([]byte, bool) {
+	blob, ok := s.getRaw(key)
+	if !ok {
+		return nil, false
+	}
+	if _, err := DecodeEntry(key, blob); err != nil {
+		s.discardCorrupt(key)
+		return nil, false
+	}
+	return blob, true
+}
+
+// getRaw reads the entry bytes and refreshes LRU recency; the caller
+// validates the envelope.
+func (s *Store) getRaw(key string) ([]byte, bool) {
+	if !ValidKey(key) {
+		s.misses.Inc()
+		return nil, false
+	}
+	s.mu.Lock()
+	_, exists := s.entries[key]
+	s.mu.Unlock()
+	if !exists {
+		s.misses.Inc()
+		return nil, false
+	}
+	// Read outside the lock: the file is immutable once renamed into
+	// place, and an eviction racing this read simply yields a miss.
+	blob, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		s.misses.Inc()
+		return nil, false
+	}
+	s.mu.Lock()
+	if e, still := s.entries[key]; still {
+		s.seq++
+		e.seq = s.seq
+		s.appendRecordLocked("touch", key, e.size)
+	}
+	s.mu.Unlock()
+	s.hits.Inc()
+	return blob, true
+}
+
+// discardCorrupt counts and removes a failed entry so it cannot poison
+// later reads.
+func (s *Store) discardCorrupt(key string) {
+	s.corrupt.Inc()
+	s.misses.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, exists := s.entries[key]; exists {
+		s.bytes -= e.size
+		delete(s.entries, key)
+		os.Remove(s.entryPath(key))
+		s.appendRecordLocked("del", key, 0)
+	}
+}
+
+// Peek loads and validates the entry for key without counting hit/miss
+// metrics or refreshing LRU recency — the warm-boot read path, which
+// must not masquerade as serving traffic. Corrupt entries are still
+// counted and discarded.
+func (s *Store) Peek(key string) (Entry, bool) {
+	if !ValidKey(key) {
+		return Entry{}, false
+	}
+	s.mu.Lock()
+	_, exists := s.entries[key]
+	s.mu.Unlock()
+	if !exists {
+		return Entry{}, false
+	}
+	blob, err := os.ReadFile(s.entryPath(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	e, derr := DecodeEntry(key, blob)
+	if derr != nil {
+		s.discardCorrupt(key)
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Has reports whether key is resident, without touching metrics or LRU
+// order.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Keys returns every resident key, most recently used first — the warm
+// boot order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ordered := make([]*idxEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq > ordered[j].seq })
+	keys := make([]string, len(ordered))
+	for i, e := range ordered {
+		keys[i] = e.key
+	}
+	return keys
+}
+
+// Len returns the resident entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the summed entry-file size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// evictLocked drops least-recently-used entries until both caps hold.
+// Called with s.mu held.
+func (s *Store) evictLocked() {
+	over := func() bool {
+		if s.cfg.MaxEntries > 0 && len(s.entries) > s.cfg.MaxEntries {
+			return true
+		}
+		return s.cfg.MaxBytes > 0 && s.bytes > s.cfg.MaxBytes
+	}
+	for over() && len(s.entries) > 0 {
+		var oldest *idxEntry
+		for _, e := range s.entries {
+			if oldest == nil || e.seq < oldest.seq {
+				oldest = e
+			}
+		}
+		s.bytes -= oldest.size
+		delete(s.entries, oldest.key)
+		os.Remove(s.entryPath(oldest.key))
+		s.appendRecordLocked("del", oldest.key, 0)
+		s.evictions.Inc()
+	}
+}
+
+// Flush fsyncs the index journal — the SIGTERM drain path, so a clean
+// shutdown leaves a fully durable index (an unclean one merely pays the
+// orphan-adoption scan on the next boot).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jf == nil {
+		return nil
+	}
+	if err := s.jf.Sync(); err != nil {
+		return fmt.Errorf("store: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// Close compacts and fsyncs the journal and releases the append handle.
+// The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.compactLocked()
+	if s.jf != nil {
+		if cerr := s.jf.Close(); err == nil {
+			err = cerr
+		}
+		s.jf = nil
+	}
+	return err
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/pacsim/pac/internal/report"
 	"github.com/pacsim/pac/internal/server"
 	"github.com/pacsim/pac/internal/sim"
+	"github.com/pacsim/pac/internal/store"
 	"github.com/pacsim/pac/internal/telemetry"
 	"github.com/pacsim/pac/internal/workload"
 )
@@ -317,6 +318,25 @@ type (
 
 // NewServer builds a ready-to-serve pacd service.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Durable result store (cmd/pacd -store): a crash-safe, content-addressed
+// store of completed simulation results keyed by the canonical options
+// hash + sim key. Attach one to ServerConfig.Store so restarts answer
+// repeat requests from disk and fleet peers exchange entries over GET
+// /v1/store/{key}. See internal/store and DESIGN.md §11.
+type (
+	// StoreConfig parameterises OpenStore.
+	StoreConfig = store.Config
+	// Store is the durable result store; the caller owns its lifecycle
+	// (open before NewServer, Close after Drain).
+	Store = store.Store
+	// StoreEntry is one stored simulation result with its identity.
+	StoreEntry = store.Entry
+)
+
+// OpenStore creates or reopens a durable result store, replaying and
+// compacting its index journal.
+func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
 
 // Fleet layer (cmd/pacgw): a consistent-hash gateway that shards
 // requests across backend pacd nodes by their canonical session keys,
