@@ -215,8 +215,24 @@ func run() error {
 		if err := precompute(); err != nil {
 			return err
 		}
+		// A full run also writes the combined transcript (every table,
+		// text-rendered) under -out as results_full.txt — the file
+		// EXPERIMENTS.md cites — instead of relying on a shell redirect
+		// into the working directory.
+		var combined *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			var err error
+			combined, err = os.Create(*outDir + "/results_full.txt")
+			if err != nil {
+				return err
+			}
+			defer combined.Close()
+		}
 		for _, e := range pac.Experiments() {
-			if err := runExperiment(session, e.ID, *csv, *chart, *jsonOut, *verbose, *outDir); err != nil {
+			if err := runExperiment(session, e.ID, *csv, *chart, *jsonOut, *verbose, *outDir, combined); err != nil {
 				return err
 			}
 		}
@@ -224,7 +240,7 @@ func run() error {
 		if err := precompute(*experiment); err != nil {
 			return err
 		}
-		if err := runExperiment(session, *experiment, *csv, *chart, *jsonOut, *verbose, *outDir); err != nil {
+		if err := runExperiment(session, *experiment, *csv, *chart, *jsonOut, *verbose, *outDir, nil); err != nil {
 			return err
 		}
 	default:
@@ -281,7 +297,7 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func runExperiment(session *pac.ExperimentSession, id string, csv, chart, jsonOut, verbose bool, outDir string) error {
+func runExperiment(session *pac.ExperimentSession, id string, csv, chart, jsonOut, verbose bool, outDir string, combined *os.File) error {
 	start := time.Now()
 	tables, err := pac.RunExperimentIn(session, id)
 	if err != nil {
@@ -290,6 +306,14 @@ func runExperiment(session *pac.ExperimentSession, id string, csv, chart, jsonOu
 	if outDir != "" {
 		if err := writeTables(outDir, id, tables); err != nil {
 			return err
+		}
+	}
+	if combined != nil {
+		for _, t := range tables {
+			if err := t.WriteText(combined); err != nil {
+				return err
+			}
+			fmt.Fprintln(combined)
 		}
 	}
 	if jsonOut {

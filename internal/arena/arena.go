@@ -40,6 +40,17 @@ type Deque[T any] struct {
 // Len returns the number of queued elements.
 func (q *Deque[T]) Len() int { return q.n }
 
+// Clear empties the deque in place: the backing storage is zeroed (so
+// held references are released to the GC) but kept, so a cleared deque
+// re-fills to its previous high-water mark without allocating.
+func (q *Deque[T]) Clear() {
+	var zero T
+	for i := range q.buf {
+		q.buf[i] = zero
+	}
+	q.head, q.n = 0, 0
+}
+
 // Cap returns the current storage capacity.
 func (q *Deque[T]) Cap() int { return len(q.buf) }
 
@@ -315,3 +326,52 @@ func tableSizeFor(n int) int {
 // hash64 is Fibonacci hashing: a single multiply by 2^64/phi spreads
 // consecutive keys (block numbers, packet IDs) across the table.
 func hash64(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }
+
+// SmallSet is a set of uint64 keys backed by an unordered slice with
+// linear-scan membership. For the few tens of keys a bounded budget
+// allows (e.g. a core's outstanding-load window) the scan stays within a
+// cache line or two and beats any hashed set; above that, use U64Set.
+// The zero value is ready to use; Clear keeps the backing slice, so a
+// set that has reached its high-water mark never allocates again.
+type SmallSet struct {
+	keys []uint64
+}
+
+// Len returns the number of stored keys.
+func (s *SmallSet) Len() int { return len(s.keys) }
+
+// Contains reports whether k is in the set.
+func (s *SmallSet) Contains(k uint64) bool {
+	for _, v := range s.keys {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts k, reporting whether it was absent.
+func (s *SmallSet) Add(k uint64) bool {
+	if s.Contains(k) {
+		return false
+	}
+	s.keys = append(s.keys, k)
+	return true
+}
+
+// Remove deletes k by swapping in the last key, reporting whether it was
+// present.
+func (s *SmallSet) Remove(k uint64) bool {
+	for i, v := range s.keys {
+		if v == k {
+			n := len(s.keys) - 1
+			s.keys[i] = s.keys[n]
+			s.keys = s.keys[:n]
+			return true
+		}
+	}
+	return false
+}
+
+// Clear empties the set, keeping the backing slice for reuse.
+func (s *SmallSet) Clear() { s.keys = s.keys[:0] }

@@ -23,15 +23,26 @@ type Config struct {
 	Ways int
 }
 
+// Each cache line's tag state packs into one uint64 tag word —
+// blockNumber<<2 | valid<<1 | dirty — and the ways of a set are kept in
+// MRU order (most recently used first). Ordering the array by recency
+// makes explicit LRU stamps redundant: the victim is the last valid way.
+// The choice is byte-identical to stamp-based true LRU, because stamps
+// were unique within a set (one access, one stamp), so "smallest stamp"
+// and "least recently touched" name the same line. An 8-way set is then
+// 64 bytes — one host cache line — and the common hit-at-MRU case exits
+// after a single compare.
+const (
+	tagValid = 1 << 1
+	tagDirty = 1 << 0
+)
+
 // Cache is a single set-associative, write-back, write-allocate cache.
 type Cache struct {
-	sets   int
-	ways   int
-	tags   []uint64 // sets*ways entries; tag = block number
-	valid  []bool
-	dirty  []bool
-	lru    []uint32 // per-line stamp; larger = more recent
-	stamps []uint32 // per-set clock
+	sets    int
+	ways    int
+	setMask uint64   // sets-1; the set count is a power of two
+	tags    []uint64 // sets*ways tag words, set-major, MRU-first per set
 	// Stats.
 	Hits, Misses, WriteBacks int64
 }
@@ -50,16 +61,21 @@ func New(cfg Config) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	n := sets * cfg.Ways
 	return &Cache{
-		sets:   sets,
-		ways:   cfg.Ways,
-		tags:   make([]uint64, n),
-		valid:  make([]bool, n),
-		dirty:  make([]bool, n),
-		lru:    make([]uint32, n),
-		stamps: make([]uint32, sets),
+		sets:    sets,
+		ways:    cfg.Ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*cfg.Ways),
 	}
+}
+
+// Reset restores the cache to its just-constructed state — every line
+// invalid, every counter zero — keeping the tag storage.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	c.Hits, c.Misses, c.WriteBacks = 0, 0, 0
 }
 
 // Sets returns the number of sets.
@@ -85,52 +101,50 @@ type Eviction struct {
 // memory read).
 func (c *Cache) Access(addr uint64, write bool) (hit bool, ev Eviction) {
 	blk := mem.BlockNumber(addr)
-	set := int(blk % uint64(c.sets))
-	base := set * c.ways
-	c.stamps[set]++
-	stamp := c.stamps[set]
+	base := int(blk&c.setMask) * c.ways
+	ws := c.tags[base : base+c.ways] // one slice header: bounds-checked once
+	key := blk<<2 | tagValid
 
-	// Lookup.
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == blk {
+	// Lookup: compare ignoring the dirty bit.
+	for w := range ws {
+		if ws[w]&^uint64(tagDirty) == key {
 			c.Hits++
-			c.lru[i] = stamp
+			tw := ws[w]
 			if write {
-				c.dirty[i] = true
+				tw |= tagDirty
 			}
+			copy(ws[1:w+1], ws[:w]) // move to front
+			ws[0] = tw
 			return true, Eviction{}
 		}
 	}
 	c.Misses++
 
-	// Allocate: prefer an invalid way, else the LRU way.
-	victim := base
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victim = i
-			goto fill
-		}
-		if c.lru[i] < c.lru[victim] {
-			victim = i
+	// Allocate: prefer an invalid way, else the LRU (last) way. Valid
+	// ways form a prefix — fills grow the prefix and hits permute it —
+	// so the first invalid way is where the prefix ends.
+	w := c.ways - 1
+	for i := range ws {
+		if ws[i]&tagValid == 0 {
+			w = i
+			break
 		}
 	}
-	if c.valid[victim] {
+	if tw := ws[w]; tw&tagValid != 0 {
 		ev = Eviction{
-			Addr:  c.tags[victim] << mem.BlockShift,
-			Dirty: c.dirty[victim],
+			Addr:  tw >> 2 << mem.BlockShift,
+			Dirty: tw&tagDirty != 0,
 			Valid: true,
 		}
 		if ev.Dirty {
 			c.WriteBacks++
 		}
 	}
-fill:
-	c.tags[victim] = blk
-	c.valid[victim] = true
-	c.dirty[victim] = write
-	c.lru[victim] = stamp
+	copy(ws[1:w+1], ws[:w])
+	if write {
+		key |= tagDirty
+	}
+	ws[0] = key
 	return false, ev
 }
 
@@ -138,10 +152,11 @@ fill:
 // It does not perturb LRU state; intended for tests and invariant checks.
 func (c *Cache) Contains(addr uint64) bool {
 	blk := mem.BlockNumber(addr)
-	set := int(blk % uint64(c.sets))
-	for w := 0; w < c.ways; w++ {
-		i := set*c.ways + w
-		if c.valid[i] && c.tags[i] == blk {
+	base := int(blk&c.setMask) * c.ways
+	ws := c.tags[base : base+c.ways]
+	key := blk<<2 | tagValid
+	for w := range ws {
+		if ws[w]&^uint64(tagDirty) == key {
 			return true
 		}
 	}
@@ -151,12 +166,11 @@ func (c *Cache) Contains(addr uint64) bool {
 // Flush invalidates every line and returns the number of dirty lines that
 // would have been written back.
 func (c *Cache) Flush() (dirty int) {
-	for i := range c.valid {
-		if c.valid[i] && c.dirty[i] {
+	for i, tw := range c.tags {
+		if tw&tagValid != 0 && tw&tagDirty != 0 {
 			dirty++
 		}
-		c.valid[i] = false
-		c.dirty[i] = false
+		c.tags[i] = 0
 	}
 	return dirty
 }

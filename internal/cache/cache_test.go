@@ -151,10 +151,7 @@ func TestWorkingSetSmallerThanCacheAlwaysHitsAfterWarmup(t *testing.T) {
 
 // --- Hierarchy tests ---
 
-func idGen() func() uint64 {
-	var n uint64
-	return func() uint64 { n++; return n }
-}
+func idGen() *uint64 { return new(uint64) }
 
 func testHierarchy(cores int) *Hierarchy {
 	return NewHierarchy(HierarchyConfig{

@@ -76,6 +76,20 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	return h
 }
 
+// Reset restores the hierarchy to its just-constructed state — cold
+// caches, empty pending-fill table, zeroed counters — keeping every
+// backing array (tags, table storage, write-back buffer).
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1 {
+		c.Reset()
+	}
+	h.llc.Reset()
+	h.pending.Clear()
+	h.wbBuf = h.wbBuf[:0]
+	h.Accesses, h.L1Hits, h.LLCHits, h.LLCMisses = 0, 0, 0, 0
+	h.PendingHits, h.Uncached, h.WriteBacks = 0, 0, 0
+}
+
 // UseScratch installs a recycled pending-fill set (cleared for use), so a
 // fresh hierarchy can reuse a previous run's table instead of growing its
 // own. Must be called before the first access.
@@ -98,7 +112,7 @@ func (h *Hierarchy) TakeScratch() *arena.U64Set {
 // fill, unless it is already resident or pending. It returns the memory
 // request to dispatch (marked Prefetch) and any dirty eviction it caused;
 // the wbs slice is reused by the next Access or Prefetch call.
-func (h *Hierarchy) Prefetch(addr uint64, core, proc int, cycle int64, ids func() uint64) (miss mem.Request, wbs []mem.Request, ok bool) {
+func (h *Hierarchy) Prefetch(addr uint64, core, proc int, cycle int64, ids *uint64) (miss mem.Request, wbs []mem.Request, ok bool) {
 	blk := mem.BlockNumber(addr)
 	if h.pending.Contains(blk) || h.llc.Contains(addr) {
 		return mem.Request{}, nil, false
@@ -107,7 +121,7 @@ func (h *Hierarchy) Prefetch(addr uint64, core, proc int, cycle int64, ids func(
 	if _, ev := h.llc.Access(addr, false); ev.Valid && ev.Dirty {
 		h.WriteBacks++
 		h.wbBuf = append(h.wbBuf, mem.Request{
-			ID: ids(), Addr: ev.Addr, Size: mem.BlockSize,
+			ID: mint(ids), Addr: ev.Addr, Size: mem.BlockSize,
 			Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
 		})
 	}
@@ -117,7 +131,7 @@ func (h *Hierarchy) Prefetch(addr uint64, core, proc int, cycle int64, ids func(
 	}
 	h.pending.Add(blk)
 	return mem.Request{
-		ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
+		ID: mint(ids), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
 		Op: mem.OpLoad, Core: core, Proc: proc, Issue: cycle, Prefetch: true,
 	}, wbs, true
 }
@@ -131,6 +145,9 @@ func (h *Hierarchy) FillDone(blockNumber uint64) {
 
 // PendingFills returns the number of blocks with in-flight fills.
 func (h *Hierarchy) PendingFills() int { return h.pending.Len() }
+
+// mint increments the shared ID counter and returns the fresh ID.
+func mint(ids *uint64) uint64 { *ids++; return *ids }
 
 // L1 returns core i's private cache (for tests and stats).
 func (h *Hierarchy) L1(i int) *Cache { return h.l1[i] }
@@ -157,28 +174,43 @@ type Outcome struct {
 
 // Access runs one CPU data access (1..64B, load/store/atomic) through the
 // hierarchy. Fences must be handled by the caller; passing one panics.
-// The ids function mints unique request IDs for generated memory traffic.
-func (h *Hierarchy) Access(core int, addr uint64, size uint32, op mem.Op, proc int, cycle int64, ids func() uint64) Outcome {
+// The ids counter mints unique request IDs for generated memory traffic
+// (incremented in place: passing a pointer instead of a closure keeps the
+// hot path free of per-call closure allocations).
+func (h *Hierarchy) Access(core int, addr uint64, size uint32, op mem.Op, proc int, cycle int64, ids *uint64) Outcome {
+	var out Outcome
+	h.AccessInto(&out, core, addr, op, proc, cycle, ids)
+	return out
+}
+
+// AccessInto is Access writing its result into out, so the per-access
+// driver loop reuses one Outcome instead of copying the ~100-byte struct
+// through every return. out is fully overwritten.
+func (h *Hierarchy) AccessInto(out *Outcome, core int, addr uint64, op mem.Op, proc int, cycle int64, ids *uint64) {
 	if op == mem.OpFence {
 		panic("cache: fence passed to Hierarchy.Access")
 	}
 	h.Accesses++
+	*out = Outcome{}
 
 	// Atomics bypass the hierarchy entirely: the paper routes them
 	// directly to the memory controller to preserve atomicity.
 	if op == mem.OpAtomic {
 		h.Uncached++
-		return Outcome{MissValid: true, Miss: mem.Request{
-			ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
+		out.MissValid = true
+		out.Miss = mem.Request{
+			ID: mint(ids), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
 			Op: mem.OpAtomic, Core: core, Proc: proc, Issue: cycle,
-		}}
+		}
+		return
 	}
 
 	write := op == mem.OpStore
 	l1 := h.l1[core]
 	if hit, ev := l1.Access(addr, write); hit {
 		h.L1Hits++
-		return Outcome{Level: 1}
+		out.Level = 1
+		return
 	} else if ev.Valid && ev.Dirty {
 		// Dirty L1 victim is installed in the LLC. A full-line
 		// write needs no memory fetch; but if the LLC displaces a
@@ -186,23 +218,24 @@ func (h *Hierarchy) Access(core int, addr uint64, size uint32, op mem.Op, proc i
 		if _, llcEv := h.llc.Access(ev.Addr, true); llcEv.Valid && llcEv.Dirty {
 			h.WriteBacks++
 			h.wbBuf = append(h.wbBuf[:0], mem.Request{
-				ID: ids(), Addr: llcEv.Addr, Size: mem.BlockSize,
+				ID: mint(ids), Addr: llcEv.Addr, Size: mem.BlockSize,
 				Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
 			})
-			return h.fill(core, addr, write, proc, cycle, ids, h.wbBuf)
+			h.fill(out, core, addr, proc, cycle, ids, h.wbBuf)
+			return
 		}
 	}
-	return h.fill(core, addr, write, proc, cycle, ids, h.wbBuf[:0])
+	h.fill(out, core, addr, proc, cycle, ids, h.wbBuf[:0])
 }
 
 // fill services an L1 miss from the LLC, recording an LLC miss request
 // when the block is absent there too.
-func (h *Hierarchy) fill(core int, addr uint64, write bool, proc int, cycle int64, ids func() uint64, wbs []mem.Request) Outcome {
+func (h *Hierarchy) fill(out *Outcome, core int, addr uint64, proc int, cycle int64, ids *uint64, wbs []mem.Request) {
 	hit, ev := h.llc.Access(addr, false) // L1 owns the dirty bit until eviction
 	if ev.Valid && ev.Dirty {
 		h.WriteBacks++
 		wbs = append(wbs, mem.Request{
-			ID: ids(), Addr: ev.Addr, Size: mem.BlockSize,
+			ID: mint(ids), Addr: ev.Addr, Size: mem.BlockSize,
 			Op: mem.OpStore, Core: core, Proc: proc, Issue: cycle,
 		})
 	}
@@ -210,6 +243,7 @@ func (h *Hierarchy) fill(core int, addr uint64, write bool, proc int, cycle int6
 	if len(wbs) == 0 {
 		wbs = nil
 	}
+	out.WriteBacks = wbs
 	blk := mem.BlockNumber(addr)
 	// Write-allocate: a store miss fetches its line with a READ; the
 	// store itself reaches memory later as a write-back when the dirty
@@ -220,28 +254,19 @@ func (h *Hierarchy) fill(core int, addr uint64, write bool, proc int, cycle int6
 	if hit {
 		if !h.pending.Contains(blk) {
 			h.LLCHits++
-			return Outcome{Level: 2, WriteBacks: wbs}
+			out.Level = 2
+			return
 		}
 		// The block's fill is still in flight: this access must emit
 		// its own request, to be merged downstream.
 		h.PendingHits++
-		return Outcome{
-			MissValid: true,
-			Miss: mem.Request{
-				ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
-				Op: op, Core: core, Proc: proc, Issue: cycle,
-			},
-			WriteBacks: wbs,
-		}
+	} else {
+		h.LLCMisses++
+		h.pending.Add(blk)
 	}
-	h.LLCMisses++
-	h.pending.Add(blk)
-	return Outcome{
-		MissValid: true,
-		Miss: mem.Request{
-			ID: ids(), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
-			Op: op, Core: core, Proc: proc, Issue: cycle,
-		},
-		WriteBacks: wbs,
+	out.MissValid = true
+	out.Miss = mem.Request{
+		ID: mint(ids), Addr: mem.BlockAlign(addr), Size: mem.BlockSize,
+		Op: op, Core: core, Proc: proc, Issue: cycle,
 	}
 }

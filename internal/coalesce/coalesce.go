@@ -36,6 +36,9 @@ type Pipeline interface {
 	Tick()
 	// Pop removes the next ready packet, if any.
 	Pop() (mem.Coalesced, bool)
+	// Front peeks at the next ready packet without removing it, so the
+	// event kernel's wake probes need no Pop/PushFront round trip.
+	Front() (mem.Coalesced, bool)
 	// PushFront returns a popped packet to the head of the output queue.
 	// The driver holds packets back this way when the MSHR file cannot
 	// admit them, so order is preserved; every pipeline must support it.
@@ -48,6 +51,29 @@ type Pipeline interface {
 	// OutLen returns the number of packets currently waiting in the
 	// output queue (the MAQ for PAC).
 	OutLen() int
+	// Reset restores the pipeline to its just-constructed state, keeping
+	// grown storage (queues, slot tables) so a reset pipeline re-reaches
+	// its steady state without allocating. Buffered requests still inside
+	// the pipeline are dropped, not recycled: their pool slices may alias
+	// each other mid-pipeline, and a double-Put would corrupt the free
+	// list, so the pool simply re-grows.
+	Reset()
+}
+
+// ConcretePipeline is the closed type-set of the concrete pipeline
+// implementations behind the five modes. The specialized event drivers in
+// internal/sim are generated once per member of this set (go:generate in
+// events.go); the constraint pins, at compile time, that every member
+// still satisfies the Pipeline contract the generated code mirrors.
+//
+// Note the drivers are generated rather than instantiated from one
+// generic function: Go stencils generics by GC shape, and all of these
+// are pointer-shaped, so a single type-parameterized driver would share
+// one dictionary-dispatched instantiation and pay interface-call cost
+// anyway (DESIGN.md §12 has the measurements).
+type ConcretePipeline interface {
+	Pipeline
+	*Passthrough | *SortingCoalescer | *RowBufferCoalescer | PACAdapter
 }
 
 // Mode selects the coalescing configuration of a simulation run.
@@ -124,6 +150,9 @@ type PACAdapter struct{ *core.PAC }
 
 // Pop drains the PAC's memory access queue.
 func (a PACAdapter) Pop() (mem.Coalesced, bool) { return a.PopMAQ() }
+
+// Front peeks at the MAQ head.
+func (a PACAdapter) Front() (mem.Coalesced, bool) { return a.FrontMAQ() }
 
 // PushFront returns a popped packet to the MAQ head.
 func (a PACAdapter) PushFront(pkt mem.Coalesced) { a.PushFrontMAQ(pkt) }
@@ -202,6 +231,11 @@ func (p *Passthrough) Pop() (mem.Coalesced, bool) {
 	return p.outQ.PopFront()
 }
 
+// Front implements Pipeline.
+func (p *Passthrough) Front() (mem.Coalesced, bool) {
+	return p.outQ.Front()
+}
+
 // PushFront returns a popped packet to the head of the output queue (used
 // by the driver when the MSHR file is full).
 func (p *Passthrough) PushFront(pkt mem.Coalesced) {
@@ -232,4 +266,12 @@ func (p *Passthrough) SkipTo(now int64) {
 	if now > p.now {
 		p.now = now
 	}
+}
+
+// Reset implements Pipeline.
+func (p *Passthrough) Reset() {
+	p.inQ.Clear()
+	p.outQ.Clear()
+	p.now = 0
+	p.RawIn, p.PacketsOut, p.InputStalls = 0, 0, 0
 }

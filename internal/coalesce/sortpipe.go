@@ -131,6 +131,11 @@ func (s *SortingCoalescer) Pop() (mem.Coalesced, bool) {
 	return s.outQ.PopFront()
 }
 
+// Front implements Pipeline.
+func (s *SortingCoalescer) Front() (mem.Coalesced, bool) {
+	return s.outQ.Front()
+}
+
 // PushFront returns a popped packet to the head of the output queue.
 func (s *SortingCoalescer) PushFront(pkt mem.Coalesced) {
 	s.outQ.PushFront(pkt)
@@ -171,6 +176,16 @@ func (s *SortingCoalescer) SkipTo(now int64) {
 // Comparisons returns the compare-exchange activations so far.
 func (s *SortingCoalescer) Comparisons() int64 { return s.net.Comparisons }
 
+// Reset implements Pipeline.
+func (s *SortingCoalescer) Reset() {
+	s.now = 0
+	s.batch = s.batch[:0]
+	s.batchStart = 0
+	s.outQ.Clear()
+	s.net.Comparisons = 0
+	s.RawIn, s.PacketsOut, s.InputStalls = 0, 0, 0
+}
+
 // RowBufferCoalescer implements the row-buffer-width coalescer of
 // Wang et al. (ICPP'19, "MAC"), the second prior design of paper §2.2:
 // raw requests aggregate into slots keyed by the device row (256B for
@@ -187,6 +202,7 @@ type RowBufferCoalescer struct {
 
 	now     int64
 	rows    []rowSlot
+	live    int // count of valid slots; 0 means every tick is inert
 	outQ    arena.Deque[mem.Coalesced]
 	order   uint64
 	parents *arena.SlicePool[mem.Request]
@@ -271,6 +287,7 @@ func (r *RowBufferCoalescer) Enqueue(q mem.Request, wb bool) bool {
 	r.RawIn++
 	q.Issue = r.now
 	r.order++
+	r.live++
 	r.rows[free] = rowSlot{valid: true, row: row, op: q.Op, reqs: append(r.parents.Get(), q), start: r.now, birth: r.order}
 	return true
 }
@@ -294,6 +311,7 @@ func (r *RowBufferCoalescer) flushSlot(i int) {
 	if !s.valid {
 		return
 	}
+	r.live--
 	// Build the block bitmap of the row and emit contiguous runs. The
 	// bitmap is reused across flushes, so clear it first.
 	blocksPerRow := r.rowBytes / mem.BlockSize
@@ -340,6 +358,9 @@ func (r *RowBufferCoalescer) flushSlot(i int) {
 // Tick implements Pipeline: timed-out slots flush.
 func (r *RowBufferCoalescer) Tick() {
 	r.now++
+	if r.live == 0 {
+		return
+	}
 	for i := range r.rows {
 		if r.rows[i].valid && r.now-r.rows[i].start >= r.timeout {
 			r.flushSlot(i)
@@ -352,6 +373,11 @@ func (r *RowBufferCoalescer) Pop() (mem.Coalesced, bool) {
 	return r.outQ.PopFront()
 }
 
+// Front implements Pipeline.
+func (r *RowBufferCoalescer) Front() (mem.Coalesced, bool) {
+	return r.outQ.Front()
+}
+
 // PushFront returns a popped packet to the head of the output queue.
 func (r *RowBufferCoalescer) PushFront(pkt mem.Coalesced) {
 	r.outQ.PushFront(pkt)
@@ -359,15 +385,7 @@ func (r *RowBufferCoalescer) PushFront(pkt mem.Coalesced) {
 
 // Drained implements Pipeline.
 func (r *RowBufferCoalescer) Drained() bool {
-	if r.outQ.Len() > 0 {
-		return false
-	}
-	for i := range r.rows {
-		if r.rows[i].valid {
-			return false
-		}
-	}
-	return true
+	return r.outQ.Len() == 0 && r.live == 0
 }
 
 // OutLen implements Pipeline.
@@ -376,6 +394,9 @@ func (r *RowBufferCoalescer) OutLen() int { return r.outQ.Len() }
 // NextWake implements Pipeline: the only self-scheduled work is flushing
 // aggregation slots whose timeout expires.
 func (r *RowBufferCoalescer) NextWake(now int64) int64 {
+	if r.live == 0 {
+		return engine.Never
+	}
 	wake := engine.Never
 	for i := range r.rows {
 		if !r.rows[i].valid {
@@ -386,6 +407,19 @@ func (r *RowBufferCoalescer) NextWake(now int64) int64 {
 		}
 	}
 	return wake
+}
+
+// Reset implements Pipeline. Slot request buffers are dropped, not
+// recycled (see the interface contract).
+func (r *RowBufferCoalescer) Reset() {
+	for i := range r.rows {
+		r.rows[i] = rowSlot{}
+	}
+	r.live = 0
+	r.now = 0
+	r.outQ.Clear()
+	r.order = 0
+	r.RawIn, r.PacketsOut, r.InputStalls = 0, 0, 0
 }
 
 // SkipTo implements Pipeline.

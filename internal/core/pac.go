@@ -76,6 +76,16 @@ type PAC struct {
 	takeWB     bool // round-robin pointer between the input queues
 
 	streams []coalescingStream
+	// live counts valid streams, letting the per-tick scans (timeout
+	// flush, wake computation, the idle fast path) skip an empty stage 1
+	// without walking all slots.
+	live int
+	// tmoAt is the earliest cycle any live stream's timeout can fire —
+	// min over valid streams of first+Timeout, engine.Never when none.
+	// Maintained exactly: creation can only lower it (min update) and
+	// flushing the minimum holder triggers a recompute, so the per-tick
+	// timeout scan and NextWake read it instead of walking the slots.
+	tmoAt int64
 
 	stage2 []flushedStream        // decoding (1 cycle, parallel across streams)
 	storeQ arena.Deque[chunkItem] // chunks awaiting the shared-bus buffer write
@@ -123,12 +133,49 @@ func New(p Params, ids func() uint64) *PAC {
 		chunkBits: w,
 		nextID:    ids,
 		streams:   make([]coalescingStream, p.Streams),
+		tmoAt:     engine.Never,
 	}
 }
 
 // UseParentPool installs the free-list backing the pipeline's request
 // slices and emitted packets' Parents.
 func (c *PAC) UseParentPool(pool *arena.SlicePool[mem.Request]) { c.parents = pool }
+
+// Reset restores the coalescer to its just-constructed state, keeping the
+// coalescing table and all grown queue storage. The histogram statistics
+// keep their bin capacity through one reallocation each, so a reset PAC
+// re-reaches its allocation steady state immediately; replacing (rather
+// than zeroing) the Stats value keeps previously snapshotted results
+// independent. In-flight request slices are dropped, not recycled: chunks
+// split from one stream alias its buffer, and a double-Put would corrupt
+// the parent pool.
+func (c *PAC) Reset() {
+	c.now = 0
+	c.missQ.Clear()
+	c.wbQ.Clear()
+	c.takeWB = false
+	for i := range c.streams {
+		c.streams[i] = coalescingStream{}
+	}
+	c.live = 0
+	c.tmoAt = engine.Never
+	for i := range c.stage2 {
+		c.stage2[i] = flushedStream{}
+	}
+	c.stage2 = c.stage2[:0]
+	c.storeQ.Clear()
+	c.seqBuf.Clear()
+	c.asm = asmJob{}
+	c.asmActive = false
+	c.bypassQ.Clear()
+	c.maq.Clear()
+	c.fillStart, c.fillPushes, c.fillActive = 0, 0, false
+	c.lastSample = 0
+	size, occ := c.Stats.SizeHist.Cap(), c.Stats.Occupancy.Cap()
+	c.Stats = Stats{}
+	c.Stats.SizeHist.Grow(size)
+	c.Stats.Occupancy.Grow(occ)
+}
 
 // Params returns the configuration the PAC was built with.
 func (c *PAC) Params() Params { return c.p }
@@ -167,6 +214,13 @@ func (c *PAC) PopMAQ() (mem.Coalesced, bool) {
 	return c.maq.PopFront()
 }
 
+// FrontMAQ peeks at the packet at the head of the MAQ without removing
+// it; the event kernel's wake probes use it to avoid pop/push round
+// trips.
+func (c *PAC) FrontMAQ() (mem.Coalesced, bool) {
+	return c.maq.Front()
+}
+
 // PushFrontMAQ returns a popped packet to the head of the MAQ, used by
 // the driver when the MSHR file is full and the packet must wait without
 // losing its place. It bypasses the capacity check (the packet was just
@@ -184,12 +238,7 @@ func (c *PAC) Drained() bool {
 	if c.asmActive {
 		return false
 	}
-	for i := range c.streams {
-		if c.streams[i].valid {
-			return false
-		}
-	}
-	return true
+	return c.live == 0
 }
 
 // backlogged reports whether any pipeline stage holds buffered work, in
@@ -212,19 +261,11 @@ func (c *PAC) NextWake(now int64) int64 {
 	if c.backlogged() {
 		return now + 1
 	}
-	wake := engine.Never
-	streams := false
-	for i := range c.streams {
-		s := &c.streams[i]
-		if !s.valid {
-			continue
-		}
-		streams = true
-		if t := s.first + c.p.Timeout; t < wake {
-			wake = t
-		}
+	if c.live == 0 {
+		return engine.Never
 	}
-	if streams {
+	wake := c.tmoAt
+	{
 		// Occupancy samples observe valid streams (Figure 11b), so the
 		// next sample point is a real event while any stream lives.
 		if t := c.lastSample + c.p.SampleInterval; t < wake {
@@ -255,17 +296,38 @@ func (c *PAC) SkipTo(now int64) {
 	}
 	// Empty samples record nothing but still reset the sampling origin;
 	// with valid streams NextWake bounds the skip before the next sample
-	// point, making this a no-op.
+	// point, making this a no-op. SampleInterval is almost always a
+	// power of two (paper: 16), so round down with a mask, not a divide.
 	if s := c.p.SampleInterval; now-c.lastSample >= s {
-		c.lastSample += (now - c.lastSample) / s * s
+		if s&(s-1) == 0 {
+			c.lastSample += (now - c.lastSample) &^ (s - 1)
+		} else {
+			c.lastSample += (now - c.lastSample) / s * s
+		}
 	}
 	c.now = now
 }
 
 // Tick advances the pipeline one cycle. Stages run back-to-front so a
 // datum moves at most one stage per cycle.
+//
+// An idle pipeline (no buffered work, no live streams — the machine is
+// stepping for the device's sake) short-circuits to the two pieces of
+// time-keeping an inert tick performs: the input round-robin pointer
+// flips (nextInput toggles before popping) and an elapsed sampling
+// interval resets the occupancy origin without recording (no streams to
+// observe). This is exactly the closed form SkipTo applies per skipped
+// cycle, so the fast path cannot diverge from the stage-by-stage walk.
 func (c *PAC) Tick() {
 	c.now++
+	if c.live == 0 && !c.asmActive && len(c.stage2) == 0 &&
+		c.missQ.Len()|c.wbQ.Len()|c.storeQ.Len()|c.seqBuf.Len()|c.bypassQ.Len() == 0 {
+		c.takeWB = !c.takeWB
+		if c.now-c.lastSample >= c.p.SampleInterval {
+			c.lastSample = c.now
+		}
+		return
+	}
 	c.tickMAQIntake()
 	c.tickAssembler()
 	c.tickStore()
@@ -450,6 +512,8 @@ func (c *PAC) flushStream(i int) {
 	if !s.valid {
 		return
 	}
+	c.live--
+	wasMin := s.first+c.p.Timeout == c.tmoAt
 	if s.cBit() {
 		c.stage2 = append(c.stage2, flushedStream{
 			op:    s.op,
@@ -474,6 +538,23 @@ func (c *PAC) flushStream(i int) {
 		})
 	}
 	*s = coalescingStream{}
+	if wasMin {
+		c.recomputeTimeout()
+	}
+}
+
+// recomputeTimeout rescans the stream slots for the earliest timeout;
+// called only when the previous minimum holder was flushed.
+func (c *PAC) recomputeTimeout() {
+	t := int64(engine.Never)
+	for i := range c.streams {
+		if s := &c.streams[i]; s.valid {
+			if w := s.first + c.p.Timeout; w < t {
+				t = w
+			}
+		}
+	}
+	c.tmoAt = t
 }
 
 // tickAggregator advances stage 1: timeout flushes, then intake of one
@@ -481,12 +562,15 @@ func (c *PAC) flushStream(i int) {
 // parallel comparison).
 func (c *PAC) tickAggregator() {
 	// Timeout: streams older than the window are forced downstream so
-	// waiting raw requests have a bounded latency.
-	for i := range c.streams {
-		s := &c.streams[i]
-		if s.valid && c.now-s.first >= c.p.Timeout {
-			c.Stats.TimeoutFlushes++
-			c.flushStream(i)
+	// waiting raw requests have a bounded latency. tmoAt bounds the
+	// earliest possible firing, so most ticks skip the slot walk.
+	if c.live > 0 && c.now >= c.tmoAt {
+		for i := range c.streams {
+			s := &c.streams[i]
+			if s.valid && c.now-s.first >= c.p.Timeout {
+				c.Stats.TimeoutFlushes++
+				c.flushStream(i)
+			}
 		}
 	}
 
@@ -577,6 +661,10 @@ func (c *PAC) tickAggregator() {
 		c.flushStream(oldest)
 		free = oldest
 	}
+	c.live++
+	if t := c.now + c.p.Timeout; t < c.tmoAt {
+		c.tmoAt = t
+	}
 	c.streams[free] = coalescingStream{
 		valid: true,
 		tag:   tag,
@@ -613,14 +701,8 @@ func (c *PAC) sampleOccupancy() {
 		return
 	}
 	c.lastSample = c.now
-	n := 0
-	for i := range c.streams {
-		if c.streams[i].valid {
-			n++
-		}
-	}
-	if n > 0 {
-		c.Stats.Occupancy.Add(n)
+	if c.live > 0 {
+		c.Stats.Occupancy.Add(c.live)
 	}
 }
 

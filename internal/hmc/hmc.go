@@ -235,6 +235,16 @@ type Device struct {
 	openRow    []int64 // per (vault,bank) open row number (OpenPage)
 	nextLink   int     // round-robin dispatch pointer
 
+	// Geometry fast paths, precomputed by New: when RowBytes, Vaults,
+	// BanksPerVault, or Vaults/Links is a power of two the hot Submit
+	// path replaces its divide with the shift/mask below. A negative
+	// value means "not a power of two, use the generic divide".
+	rowShift   int
+	vaultMask  int64
+	vaultShift int
+	bankMask   int64
+	quadShift  int
+
 	completed pendingHeap
 	popBuf    []mem.Response // reused by PopCompleted
 
@@ -264,7 +274,86 @@ func New(cfg Config) *Device {
 	for i := range d.openRow {
 		d.openRow[i] = -1
 	}
+	d.rowShift = pow2Shift(cfg.RowBytes)
+	d.vaultMask = pow2Mask(cfg.Vaults)
+	d.vaultShift = pow2Shift(cfg.Vaults)
+	d.bankMask = pow2Mask(cfg.BanksPerVault)
+	d.quadShift = pow2Shift(cfg.Vaults / cfg.Links)
 	return d
+}
+
+// pow2Shift returns log2(n) when n is a power of two, else -1.
+func pow2Shift(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// pow2Mask returns n-1 when n is a power of two, else -1.
+func pow2Mask(n int) int64 {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	return int64(n - 1)
+}
+
+// rowOf returns the DRAM row number holding addr.
+func (d *Device) rowOf(addr uint64) uint64 {
+	if d.rowShift >= 0 {
+		return addr >> uint(d.rowShift)
+	}
+	return addr / uint64(d.cfg.RowBytes)
+}
+
+// vaultOfRow returns the vault index for a row number.
+func (d *Device) vaultOfRow(row uint64) int {
+	if d.vaultMask >= 0 {
+		return int(row & uint64(d.vaultMask))
+	}
+	return int(row % uint64(d.cfg.Vaults))
+}
+
+// bankOfRow returns the bank index within the vault for a row number.
+func (d *Device) bankOfRow(row uint64) int {
+	var r uint64
+	if d.vaultShift >= 0 {
+		r = row >> uint(d.vaultShift)
+	} else {
+		r = row / uint64(d.cfg.Vaults)
+	}
+	if d.bankMask >= 0 {
+		return int(r & uint64(d.bankMask))
+	}
+	return int(r % uint64(d.cfg.BanksPerVault))
+}
+
+// Reset restores the device to its just-constructed state — idle links,
+// vaults and banks, closed rows, no in-flight requests, zeroed statistics
+// and energy ledger — keeping the heap and pop-buffer storage. Any
+// installed fault injector is detached (the driver re-installs one per
+// run).
+func (d *Device) Reset() {
+	for i := range d.linkTxFree {
+		d.linkTxFree[i] = 0
+		d.linkRxFree[i] = 0
+	}
+	for i := range d.vaultFree {
+		d.vaultFree[i] = 0
+	}
+	for i := range d.bankFree {
+		d.bankFree[i] = 0
+		d.openRow[i] = -1
+	}
+	d.nextLink = 0
+	d.completed = d.completed[:0]
+	d.popBuf = d.popBuf[:0]
+	d.faults = nil
+	d.Stats = Stats{}
 }
 
 // Config returns the device configuration.
@@ -292,12 +381,12 @@ func (d *Device) FreezeVault(vault int, until int64) {
 // across vaults first, then banks (the HMC default "low interleave" that
 // spreads sequential blocks across vaults).
 func (d *Device) vaultOf(addr uint64) int {
-	return int((addr / uint64(d.cfg.RowBytes)) % uint64(d.cfg.Vaults))
+	return d.vaultOfRow(d.rowOf(addr))
 }
 
 // bankOf returns the bank index within the vault.
 func (d *Device) bankOf(addr uint64) int {
-	return int((addr / uint64(d.cfg.RowBytes) / uint64(d.cfg.Vaults)) % uint64(d.cfg.BanksPerVault))
+	return d.bankOfRow(d.rowOf(addr))
 }
 
 // flitsFor returns request and response FLIT counts for a packet: each
@@ -331,8 +420,8 @@ func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
 	if int(pkt.Size) > cfg.MaxReqBytes {
 		panic(fmt.Sprintf("hmc: packet %v exceeds device max %dB", pkt, cfg.MaxReqBytes))
 	}
-	rowStart := pkt.Addr / uint64(cfg.RowBytes)
-	rowEnd := (pkt.Addr + uint64(pkt.Size) - 1) / uint64(cfg.RowBytes)
+	rowStart := d.rowOf(pkt.Addr)
+	rowEnd := d.rowOf(pkt.Addr + uint64(pkt.Size) - 1)
 	if rowStart != rowEnd {
 		panic(fmt.Sprintf("hmc: packet %v spans DRAM rows", pkt))
 	}
@@ -365,14 +454,21 @@ func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
 	// occupying the request lane for the replay on top of the original
 	// serialization.
 	link := d.nextLink
-	d.nextLink = (d.nextLink + 1) % cfg.Links
+	if d.nextLink++; d.nextLink == cfg.Links {
+		d.nextLink = 0
+	}
 	start := max64(now, d.linkTxFree[link])
 	linkDone := start + reqFlits*cfg.LinkFlitCycles + crcReplay
 	d.linkTxFree[link] = linkDone
 
 	// 2. Crossbar: local when the link serves the vault's quadrant.
-	vault := d.vaultOf(pkt.Addr)
-	quadrant := vault / (cfg.Vaults / cfg.Links)
+	vault := d.vaultOfRow(rowStart)
+	var quadrant int
+	if d.quadShift >= 0 {
+		quadrant = vault >> uint(d.quadShift)
+	} else {
+		quadrant = vault / (cfg.Vaults / cfg.Links)
+	}
 	local := quadrant == link
 	xbar := cfg.XbarRemoteCycles
 	if local {
@@ -395,7 +491,7 @@ func (d *Device) Submit(pkt mem.Coalesced, now int64) int64 {
 	// full activate/access/precharge row cycle. Open page: a hit on
 	// the open row is fast; a miss pays precharge + activate and
 	// leaves the new row open.
-	bankIdx := vault*cfg.BanksPerVault + d.bankOf(pkt.Addr)
+	bankIdx := vault*cfg.BanksPerVault + d.bankOfRow(rowStart)
 	bankReady := d.bankFree[bankIdx]
 	accessStart := ctrlDone
 	if bankReady > accessStart {

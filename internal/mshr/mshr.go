@@ -85,6 +85,21 @@ type File struct {
 	cfg     Config
 	entries []Entry
 	free    int
+	// gen counts mutations that can change a lookupMerge outcome (entry
+	// allocation, release, re-keying, subentry absorption). Callers use
+	// it to memoize ProbeMerge results: a probe of the same packet at
+	// the same generation must return the same verdict.
+	gen uint64
+	// nvalid counts valid entries and sigCnt is a counting Bloom filter
+	// over every (covered block, op) pair of those entries (incremented
+	// on allocate, decremented on release — never rebuilt). A probe
+	// whose base block's counter is zero cannot merge anywhere, and the
+	// scan it skips would have compared exactly nvalid entries — so the
+	// fast path returns the same counter deltas as the walk. False
+	// positives just fall through to the scan. uint16 cannot saturate:
+	// at most Entries*MaxBlocks increments can share one slot.
+	nvalid int
+	sigCnt [64]uint16
 	// Stats.
 	Merges      int64 // raw requests absorbed into existing entries
 	Allocations int64 // entries allocated (each implies a memory dispatch)
@@ -107,6 +122,22 @@ func New(cfg Config) *File {
 	return &File{cfg: cfg, entries: make([]Entry, cfg.Entries), free: cfg.Entries}
 }
 
+// Reset restores the file to its just-constructed state: every entry
+// invalid, the filter and every counter zeroed. Subentry backing arrays
+// are kept, so a reset file re-reaches its steady state without
+// allocating.
+func (f *File) Reset() {
+	for i := range f.entries {
+		e := &f.entries[i]
+		*e = Entry{subs: e.subs[:0]}
+	}
+	f.free = len(f.entries)
+	f.gen = 0
+	f.nvalid = 0
+	f.sigCnt = [64]uint16{}
+	f.Merges, f.Allocations, f.MergeFails, f.Comparisons, f.Reissues = 0, 0, 0, 0, 0
+}
+
 // Size returns the number of MSHRs.
 func (f *File) Size() int { return len(f.entries) }
 
@@ -116,6 +147,10 @@ func (f *File) Available() int { return f.free }
 // Full reports whether every MSHR is occupied.
 func (f *File) Full() bool { return f.free == 0 }
 
+// Gen returns the file's mutation generation; it changes whenever a
+// future lookupMerge could answer differently than it would have before.
+func (f *File) Gen() uint64 { return f.gen }
+
 // Entry exposes entry i for inspection.
 func (f *File) Entry(i int) *Entry { return &f.entries[i] }
 
@@ -123,6 +158,19 @@ func (f *File) Entry(i int) *Entry { return &f.entries[i] }
 // base+blocks).
 func (e *Entry) spanContains(base uint64, blocks int) bool {
 	return base >= e.base && base+uint64(blocks) <= e.base+uint64(e.blocks)
+}
+
+// sigSlot hashes one (block, op) pair to its filter slot.
+func sigSlot(block uint64, op mem.Op) int {
+	return int((block ^ uint64(op)<<56) * 0x9e3779b97f4a7c15 >> 58)
+}
+
+// addSig registers entry e's covered blocks in the counting filter
+// (delta +1) or withdraws them (delta -1).
+func (f *File) addSig(e *Entry, delta int) {
+	for b := e.base; b < e.base+uint64(e.blocks); b++ {
+		f.sigCnt[sigSlot(b, e.op)] += uint16(delta)
+	}
 }
 
 // lookupMerge finds the entry a packet would merge into without mutating
@@ -137,6 +185,12 @@ func (f *File) lookupMerge(pkt mem.Coalesced) (entry int, cmp, fails int64, ok b
 	}
 	base := mem.BlockNumber(pkt.Addr)
 	blocks := pkt.Blocks()
+	if f.sigCnt[sigSlot(base, pkt.Op)] == 0 {
+		// No valid entry covers the packet's base block under this op,
+		// so nothing can span-contain it: the walk below would have
+		// compared every valid entry and matched none.
+		return 0, int64(f.nvalid), 0, false
+	}
 	for i := range f.entries {
 		e := &f.entries[i]
 		if !e.valid {
@@ -174,6 +228,7 @@ func (f *File) TryMerge(pkt mem.Coalesced) (entry int, ok bool) {
 		})
 	}
 	f.Merges += int64(len(pkt.Parents))
+	f.gen++
 	return i, true
 }
 
@@ -225,7 +280,10 @@ func (f *File) Allocate(pkt mem.Coalesced) (entry int, ok bool) {
 			})
 		}
 		f.free--
+		f.nvalid++
+		f.addSig(e, 1)
 		f.Allocations++
+		f.gen++
 		return i, true
 	}
 	panic("mshr: free count inconsistent with entries")
@@ -241,9 +299,12 @@ func (f *File) Release(entry int) []Subentry {
 	if !e.valid {
 		panic(fmt.Sprintf("mshr: releasing invalid entry %d", entry))
 	}
+	f.addSig(e, -1)
 	subs := e.subs
 	*e = Entry{subs: subs[:0]}
 	f.free++
+	f.nvalid--
+	f.gen++
 	return subs
 }
 
@@ -259,6 +320,7 @@ func (f *File) Reissue(entry int, pktID uint64) int {
 	e.pktID = pktID
 	e.reissues++
 	f.Reissues++
+	f.gen++
 	return e.reissues
 }
 

@@ -108,6 +108,122 @@ func TestKernelSkipsIdleCycles(t *testing.T) {
 	}
 }
 
+// TestSpecializedDriverSelected pins that every known mode actually
+// reaches its monomorphic driver: the selection in runEvents keys on the
+// concrete pipeline type, so a construction change that quietly demoted a
+// mode to the generic interface driver would pass every equivalence test
+// while losing the speedup this package exists for.
+func TestSpecializedDriverSelected(t *testing.T) {
+	for _, mode := range allModes {
+		r, err := NewRunner(smallConfig("GS", mode))
+		if err != nil {
+			t.Fatalf("%v: NewRunner: %v", mode, err)
+		}
+		specialized := false
+		switch mode {
+		case coalesce.ModeNone, coalesce.ModeDMC:
+			_, specialized = r.pipe.(*coalesce.Passthrough)
+		case coalesce.ModePAC:
+			specialized = r.pac != nil
+		case coalesce.ModeSortNet:
+			_, specialized = r.pipe.(*coalesce.SortingCoalescer)
+		case coalesce.ModeRowBuf:
+			_, specialized = r.pipe.(*coalesce.RowBufferCoalescer)
+		}
+		if !specialized {
+			t.Errorf("%v: pipeline is %T; runEvents would fall back to the generic driver", mode, r.pipe)
+		}
+	}
+}
+
+// TestWarmScratchByteIdentity proves machine reuse never leaks state: a
+// shared Scratch runs the same configuration repeatedly — alternating the
+// event kernel and the reference stepper, so a parked machine crosses
+// drivers — and every warm Result must be byte-identical to the cold
+// first run (modulo SkippedCycles, which is driver accounting). The first
+// warm run resets a parked machine; the second replays the recorded
+// trace; both paths are covered for every mode.
+func TestWarmScratchByteIdentity(t *testing.T) {
+	for _, mode := range allModes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			base := smallConfig("GS", mode)
+			base.AccessesPerCore = 1_500
+			cold := run(t, base)
+
+			sc := NewScratch()
+			for i, ref := range []bool{false, true, false, true} {
+				cfg := base
+				cfg.Scratch = sc
+				cfg.ReferenceStepper = ref
+				warm := run(t, cfg)
+				w := *warm
+				w.SkippedCycles = 0
+				c := *cold
+				c.SkippedCycles = 0
+				if !reflect.DeepEqual(&w, &c) {
+					t.Fatalf("warm run %d (ref=%v) diverges from cold run\nwarm: %+v\ncold: %+v", i, ref, w, c)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmScratchAcrossConfigs drives one Scratch through incompatible
+// configurations back to back: mode switches and a benchmark switch
+// force machine rebuilds, and each result must still match its own cold
+// baseline. This is the pacd worker pattern — one arena, many jobs.
+func TestWarmScratchAcrossConfigs(t *testing.T) {
+	sc := NewScratch()
+	jobs := []struct {
+		bench string
+		mode  coalesce.Mode
+	}{
+		{"GS", coalesce.ModePAC},
+		{"GS", coalesce.ModeNone},
+		{"STREAM", coalesce.ModePAC},
+		{"GS", coalesce.ModePAC}, // back to the first shape
+	}
+	for i, j := range jobs {
+		cfg := smallConfig(j.bench, j.mode)
+		cfg.AccessesPerCore = 1_000
+		cold := run(t, cfg)
+		cfg.Scratch = sc
+		warm := run(t, cfg)
+		if !reflect.DeepEqual(warm, cold) {
+			t.Fatalf("job %d (%s/%v): warm result diverges from cold\nwarm: %+v\ncold: %+v", i, j.bench, j.mode, warm, cold)
+		}
+	}
+}
+
+// TestWarmScratchFaultsIsolated checks a faulted run neither reuses nor
+// pollutes the machine cache: fault injection is run-scoped, so a warm
+// Scratch interleaving clean and faulted runs must keep both streams
+// byte-identical to their cold counterparts.
+func TestWarmScratchFaultsIsolated(t *testing.T) {
+	clean := smallConfig("CG", coalesce.ModePAC)
+	clean.AccessesPerCore = 1_000
+	faulty := clean
+	faulty.Faults = chaosPlan()
+
+	coldClean := run(t, clean)
+	coldFaulty := run(t, faulty)
+
+	sc := NewScratch()
+	for i := 0; i < 2; i++ {
+		cfg := clean
+		cfg.Scratch = sc
+		if got := run(t, cfg); !reflect.DeepEqual(got, coldClean) {
+			t.Fatalf("round %d: warm clean run diverges from cold", i)
+		}
+		cfg = faulty
+		cfg.Scratch = sc
+		if got := run(t, cfg); !reflect.DeepEqual(got, coldFaulty) {
+			t.Fatalf("round %d: warm faulted run diverges from cold", i)
+		}
+	}
+}
+
 // TestKernelEquivalenceTinyCaches stresses the stall paths (full MSHR
 // file, held-back packets, outstanding-load blocking) by shrinking every
 // buffer, so the closed-form stall emulation is exercised rather than

@@ -110,8 +110,8 @@ func (r *Runner) collect() {
 		r.res.Faults = r.faults.Snapshot()
 	}
 	if r.pac != nil {
-		s := r.pac.Stats
-		r.res.PAC = &s
+		r.pacStats = r.pac.Stats
+		r.res.PAC = &r.pacStats
 	}
 }
 

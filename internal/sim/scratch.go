@@ -16,9 +16,22 @@ import (
 // one running simulation at a time. Hand-off between sequential runs is
 // the caller's job (experiments.Session uses a sync.Pool).
 type Scratch struct {
-	parents *arena.SlicePool[mem.Request]
-	sets    []*arena.U64Set
-	outBufs [][]outReq
+	parents  *arena.SlicePool[mem.Request]
+	sets     []*arena.SmallSet
+	fillSets []*arena.U64Set
+	outBufs  [][]outReq
+
+	// mach is the parked component graph of the last completed run (one
+	// slot: workers re-run the same configuration back to back, so one
+	// machine covers the steady state). takeMachine hands it out when the
+	// next run's config is compatible; an incompatible run builds fresh
+	// and the newly built machine replaces the parked one on completion.
+	mach *machine
+
+	// histHint is the high-water LoadLatencyHist capacity across runs on
+	// this Scratch; pre-sizing the next run's histogram to it collapses
+	// the append-driven growth reallocations into one.
+	histHint int
 }
 
 // NewScratch returns an empty arena. The parent pool's poison value is an
@@ -37,23 +50,69 @@ func NewScratch() *Scratch {
 }
 
 // getSet hands out a cleared uint64 set.
-func (s *Scratch) getSet() *arena.U64Set {
+func (s *Scratch) getSet() *arena.SmallSet {
 	if n := len(s.sets); n > 0 {
 		set := s.sets[n-1]
 		s.sets[n-1] = nil
 		s.sets = s.sets[:n-1]
 		return set
 	}
-	return arena.NewU64Set(0)
+	return &arena.SmallSet{}
 }
 
 // putSet takes a set back for the next run; nil is ignored.
-func (s *Scratch) putSet(set *arena.U64Set) {
+func (s *Scratch) putSet(set *arena.SmallSet) {
 	if set == nil {
 		return
 	}
 	set.Clear()
 	s.sets = append(s.sets, set)
+}
+
+// getFillSet hands out a cleared hashed set for the hierarchy's
+// pending-fill table, which can hold hundreds of in-flight blocks.
+func (s *Scratch) getFillSet() *arena.U64Set {
+	if n := len(s.fillSets); n > 0 {
+		set := s.fillSets[n-1]
+		s.fillSets[n-1] = nil
+		s.fillSets = s.fillSets[:n-1]
+		return set
+	}
+	return arena.NewU64Set(0)
+}
+
+// putFillSet takes a hashed set back for the next run; nil is ignored.
+func (s *Scratch) putFillSet(set *arena.U64Set) {
+	if set == nil {
+		return
+	}
+	set.Clear()
+	s.fillSets = append(s.fillSets, set)
+}
+
+// takeMachine hands out the parked machine when it can run cfg, reset to
+// its just-constructed state. A reset failure discards the machine (the
+// caller builds fresh); results are never at risk, only reuse.
+func (s *Scratch) takeMachine(cfg *Config) (*machine, bool) {
+	m := s.mach
+	if m == nil || !machineReusable(&m.cfg, cfg) {
+		return nil, false
+	}
+	s.mach = nil
+	if err := m.reset(); err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// putMachine parks a machine for the next compatible run. Only cacheable
+// machines that finished a completed (fully drained) run belong here —
+// the caller guarantees the latter.
+func (s *Scratch) putMachine(m *machine) {
+	if m == nil || !m.cacheable {
+		return
+	}
+	s.mach = m
 }
 
 // getOutBuf hands out an empty parked-output buffer.

@@ -236,10 +236,17 @@ type coreState struct {
 	outHead    int
 	// outstanding holds in-flight load/atomic request IDs; at the
 	// limit the core stalls.
-	outstanding *arena.U64Set
+	outstanding *arena.SmallSet
 	// nextIssue is the earliest cycle the core may issue its next
 	// trace access (IssueInterval pacing).
 	nextIssue int64
+	// wake caches coreWakeOf for the specialized drivers: while it is in
+	// the future, issueCore would change nothing except the stall
+	// counter, so step skips the call. Any out-of-band mutation of core
+	// state (a completion freeing an outstanding slot) must zero it to
+	// force re-evaluation. The generic driver and the reference stepper
+	// never read it.
+	wake int64
 }
 
 // parked reports how many hierarchy outputs still await queue space.
@@ -250,9 +257,14 @@ func (c *coreState) parked() int { return len(c.pendingOut) - c.outHead }
 func (c *coreState) blocked() bool { return c.parked() > 0 || c.hasPending }
 
 // Runner executes one configured simulation.
+//
+// The component graph itself lives on the Runner's machine (r.m); the
+// mirrored fields below are aliases installed by NewRunner so the hot
+// paths (and the generated drivers) reach components through one pointer
+// load instead of two.
 type Runner struct {
 	cfg    Config
-	gens   []workload.Generator
+	m      *machine
 	hier   *cache.Hierarchy
 	pf     *prefetch.Prefetcher
 	spaces []*vm.AddressSpace // per-process page tables (Virtualize)
@@ -262,9 +274,29 @@ type Runner struct {
 	dev    *hmc.Device
 	faults *fault.Injector // nil unless cfg.Faults is enabled
 
-	cores  []coreState
-	now    int64
-	nextID uint64
+	cores []coreState
+	now   int64
+	// coreWake caches min-over-cores coreWakeOf for the specialized
+	// event loops, which maintain it inside step instead of rescanning
+	// the cores in every scheduler pass.
+	coreWake int64
+
+	// Head-probe memo for the specialized drivers: ProbeMerge is a pure
+	// function of the MSHR file state and the probed packet, so its
+	// verdict for the held-back head packet is cached until the file
+	// mutates (file.Gen) or the head changes (packet ID). The scheduler
+	// consults the probe on every pass while the file is full; the memo
+	// collapses those to one scan per (state, packet) pair.
+	probeGen    uint64
+	probeHeadID uint64
+	probeOK     bool
+	probeCmp    int64
+	probeFails  int64
+	probeValid  bool
+
+	// outcome is the reusable result slot for Hierarchy.AccessInto, so
+	// the per-access path never copies the Outcome struct by value.
+	outcome cache.Outcome
 
 	// scratch backs every reusable buffer of the run; groupBuf and
 	// probeBuf are runner-owned per-call scratch for issueAccess and the
@@ -273,6 +305,14 @@ type Runner struct {
 	groupBuf []outReq
 	probeBuf [1]mem.Request
 	released bool
+	// completedOK marks a fully drained run; only then may release park
+	// the machine for reuse (an aborted machine has in-flight state no
+	// Reset contract covers recycling for).
+	completedOK bool
+
+	// pacStats is the Result's PAC snapshot slot, so collect need not
+	// allocate one per run.
+	pacStats core.Stats
 
 	res Result
 }
@@ -286,86 +326,36 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if r.scratch == nil {
 		r.scratch = NewScratch()
 	}
-	ids := func() uint64 { r.nextID++; return r.nextID }
-
 	if cfg.Generators != nil && len(cfg.Generators) != len(cfg.Procs) {
 		return nil, fmt.Errorf("sim: %d generators for %d processes", len(cfg.Generators), len(cfg.Procs))
 	}
-	for p, spec := range cfg.Procs {
-		var g workload.Generator
-		if cfg.Generators != nil {
-			g = cfg.Generators[p]
-		} else {
-			var err error
-			g, err = workload.New(spec.Benchmark, workload.Config{
-				Cores: spec.Cores,
-				Seed:  cfg.Seed,
-				Proc:  p,
-				Scale: cfg.Scale,
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
-		r.gens = append(r.gens, g)
-		for i := 0; i < spec.Cores; i++ {
-			r.cores = append(r.cores, coreState{
-				proc:        p,
-				localIdx:    i,
-				outstanding: r.scratch.getSet(),
-				pendingOut:  r.scratch.getOutBuf(),
-				// Stagger core start-up so identical per-core
-				// loops do not issue in lock-step bursts.
-				nextIssue: int64(len(r.cores)) * 29,
-			})
-		}
-	}
 
-	r.hier = cache.NewHierarchy(cfg.Hierarchy)
-	r.hier.UseScratch(r.scratch.getSet())
-	r.pf = prefetch.New(cfg.Prefetch, len(r.cores))
-	if cfg.Virtualize {
-		for p := range cfg.Procs {
-			r.spaces = append(r.spaces, vm.New(p, cfg.Seed, 0))
+	m, ok := r.scratch.takeMachine(&cfg)
+	if !ok {
+		var err error
+		m, err = buildMachine(cfg, r.scratch, cfg.Scratch != nil)
+		if err != nil {
+			return nil, err
 		}
 	}
-	switch cfg.Mode {
-	case coalesce.ModePAC:
-		r.pac = core.New(cfg.PAC, ids)
-		r.pac.UseParentPool(r.scratch.parents)
-		r.pipe = coalesce.PACAdapter{PAC: r.pac}
-	case coalesce.ModeSortNet:
-		sc := coalesce.NewSortingCoalescer(cfg.PAC.Streams, cfg.PAC.Timeout,
-			cfg.PAC.Device.MaxReqBlocks(), ids)
-		sc.UseParentPool(r.scratch.parents)
-		r.pipe = sc
-	case coalesce.ModeRowBuf:
-		rb := coalesce.NewRowBufferCoalescer(cfg.HMC.RowBytes, cfg.PAC.Streams,
-			cfg.PAC.Timeout, ids)
-		rb.UseParentPool(r.scratch.parents)
-		r.pipe = rb
-	default:
-		pt := coalesce.NewPassthrough(cfg.PAC.InputQueueDepth, ids)
-		pt.UseParentPool(r.scratch.parents)
-		r.pipe = pt
-	}
-	r.file = mshr.New(mshr.Config{
-		Entries:       cfg.MSHRs,
-		MaxSubentries: cfg.MaxSubentries,
-		Adaptive:      cfg.Mode.AdaptiveMSHR(),
-		MaxBlocks:     cfg.PAC.Device.MaxReqBlocks(),
-	})
-	r.dev = hmc.New(cfg.HMC)
+	r.m = m
+	r.hier = m.hier
+	r.pf = m.pf
+	r.spaces = m.spaces
+	r.pipe = m.pipe
+	r.pac = m.pac
+	r.file = m.file
+	r.dev = m.dev
+	r.cores = m.cores
 	if cfg.Faults.Enabled() {
 		r.faults = fault.NewInjector(cfg.Faults, cfg.Seed, cfg.HMC.Vaults)
 		r.dev.InstallFaults(r.faults)
 	}
 
 	r.res.Mode = cfg.Mode
-	r.res.Benchmarks = make([]string, len(cfg.Procs))
-	for i, p := range cfg.Procs {
-		r.res.Benchmarks[i] = p.Benchmark
-	}
+	r.res.Benchmarks = m.benchNames
+	r.res.LoadLatencyHist.Grow(r.scratch.histHint)
+	r.groupBuf = r.scratch.getOutBuf()
 	return r, nil
 }
 
@@ -403,6 +393,7 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	} else {
 		err = r.runEvents(ctx)
 	}
+	r.completedOK = err == nil
 	var fs fault.Stats
 	if r.faults != nil {
 		fs = r.faults.Snapshot()
@@ -436,17 +427,29 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	return &r.res, nil
 }
 
-// release returns the run's recyclable buffers to its Scratch so the
-// next run with the same Scratch reuses them. The runner keeps its
-// references (a Runner is single-run; nothing reads them again), so this
-// only matters when Config.Scratch is shared across sequential runs. On
-// an aborted run the buffers still referenced by pipeline or MSHR state
-// are simply not returned.
+// release returns the run's recyclable state to its Scratch so the next
+// run with the same Scratch reuses it. A completed run parks its whole
+// machine — the component graph keeps its buffers and is reset in place
+// by the next compatible run. An aborted or uncacheable run dismantles
+// instead: per-core buffers and the fill set go back individually (on an
+// abort, buffers still referenced by pipeline or MSHR state are simply
+// not returned). Either way this only matters when Config.Scratch is
+// shared across sequential runs; a Runner is single-run and nothing reads
+// the references again.
 func (r *Runner) release() {
 	if r.released {
 		return
 	}
 	r.released = true
+	if h := r.res.LoadLatencyHist.Cap(); h > r.scratch.histHint {
+		r.scratch.histHint = h
+	}
+	r.scratch.putOutBuf(r.groupBuf)
+	if r.completedOK && r.m.cacheable {
+		r.m.finishRecording(r.cfg.AccessesPerCore)
+		r.scratch.putMachine(r.m)
+		return
+	}
 	for i := range r.cores {
 		c := &r.cores[i]
 		r.scratch.putSet(c.outstanding)
@@ -454,7 +457,7 @@ func (r *Runner) release() {
 			r.scratch.putOutBuf(c.pendingOut)
 		}
 	}
-	r.scratch.putSet(r.hier.TakeScratch())
+	r.scratch.putFillSet(r.hier.TakeScratch())
 }
 
 // errWedged builds the MaxCycles abort error with enough machine state to
@@ -486,13 +489,17 @@ func (r *Runner) runReference(ctx context.Context) error {
 	return nil
 }
 
-// runEvents is the discrete-event driver: a scheduler over every
-// component's NextWake advances the clock directly to the next cycle
-// where anything can happen, and the skipped stretch is accounted for in
-// closed form (skipTo). Cheap wake functions are registered first — the
-// scheduler short-circuits as soon as one reports runnable, keeping the
-// dispatcher's merge dry-run off the hot path.
-func (r *Runner) runEvents(ctx context.Context) error {
+// runEventsGeneric is the interface-based discrete-event driver: a
+// scheduler over every component's NextWake advances the clock directly
+// to the next cycle where anything can happen, and the skipped stretch is
+// accounted for in closed form (skipTo). Cheap wake functions are
+// registered first — the scheduler short-circuits as soon as one reports
+// runnable, keeping the dispatcher's merge dry-run off the hot path.
+//
+// Known modes run the monomorphic specializations from events_gen.go
+// instead (see runEvents); this driver remains as the fallback for
+// exotic configurations and as a differential oracle.
+func (r *Runner) runEventsGeneric(ctx context.Context) error {
 	done := ctx.Done()
 	sched := engine.New(
 		engine.Func(r.coresWake),
@@ -541,33 +548,11 @@ func (r *Runner) runEvents(ctx context.Context) error {
 func (r *Runner) coresWake(now int64) int64 {
 	wake := engine.Never
 	for i := range r.cores {
-		c := &r.cores[i]
-		switch {
-		case c.parked() > 0:
-			// Parked LLC outputs are offered to the pipeline every
-			// cycle.
-			return now + 1
-		case c.hasPending:
-			if c.pending.Op == mem.OpFence ||
-				c.outstanding.Len() < r.cfg.MaxOutstandingLoads {
-				// Fences retry against the pipeline each cycle; a
-				// stalled access with budget again can issue now.
-				return now + 1
+		if w := r.coreWakeOf(&r.cores[i], now); w < wake {
+			if w <= now+1 {
+				return w
 			}
-			// Blocked on the outstanding-load budget: sleeps until a
-			// completion (the device wake) releases a fill.
-		case c.done:
-			// Finished trace; nothing left to issue.
-		case c.issued >= r.cfg.AccessesPerCore:
-			// Will mark itself done on the next step.
-			return now + 1
-		case c.nextIssue > now+1:
-			// Pacing: ALU work between memory accesses.
-			if c.nextIssue < wake {
-				wake = c.nextIssue
-			}
-		default:
-			return now + 1
+			wake = w
 		}
 	}
 	return wake
@@ -633,15 +618,19 @@ func (r *Runner) skipTo(t int64) {
 }
 
 // finished reports whether every core completed its trace and the memory
-// system fully drained.
+// system fully drained. The device check comes first: it is one field
+// read and stays non-zero for nearly the whole run.
 func (r *Runner) finished() bool {
+	if r.dev.Outstanding() != 0 || !r.pipe.Drained() || r.file.Available() != r.file.Size() {
+		return false
+	}
 	for i := range r.cores {
 		c := &r.cores[i]
 		if !c.done || c.outstanding.Len() > 0 || c.blocked() {
 			return false
 		}
 	}
-	return r.pipe.Drained() && r.file.Available() == r.file.Size() && r.dev.Outstanding() == 0
+	return true
 }
 
 // step advances the machine one cycle.
@@ -663,8 +652,28 @@ func (r *Runner) step() {
 		}
 	}
 
-	// 1. Memory responses: release MSHRs, unblock cores. A poisoned
-	// response re-issues the entry's request instead of releasing it.
+	// 1. Memory responses.
+	r.drainCompletions()
+
+	// 2. MSHR intake: move packets from the coalescer output into the
+	// MSHR file, merging when the mode allows; new entries dispatch to
+	// the device immediately.
+	r.dispatch()
+
+	// 3. Core issue: each core feeds the cache hierarchy.
+	for i := range r.cores {
+		r.issueCore(i)
+	}
+
+	// 4. Advance the coalescing pipeline.
+	r.pipe.Tick()
+}
+
+// drainCompletions handles this cycle's memory responses: release MSHRs,
+// unblock cores. A poisoned response re-issues the entry's request
+// instead of releasing it. Shared by every driver — it only touches
+// concrete components, so the specialized loops call it as-is.
+func (r *Runner) drainCompletions() {
 	for _, resp := range r.dev.PopCompleted(r.now) {
 		entry, ok := r.file.FindByPacket(resp.ID)
 		if !ok {
@@ -684,19 +693,6 @@ func (r *Runner) step() {
 			r.hier.FillDone(base + uint64(b))
 		}
 	}
-
-	// 2. MSHR intake: move packets from the coalescer output into the
-	// MSHR file, merging when the mode allows; new entries dispatch to
-	// the device immediately.
-	r.dispatch()
-
-	// 3. Core issue: each core feeds the cache hierarchy.
-	for i := range r.cores {
-		r.issueCore(i)
-	}
-
-	// 4. Advance the coalescing pipeline.
-	r.pipe.Tick()
 }
 
 // dispatch moves up to one packet per cycle from the coalescer output
@@ -740,9 +736,9 @@ func (r *Runner) admit(pkt mem.Coalesced) bool {
 // crossbar and the bank again, and counts in both MemPackets and the
 // device's request statistics.
 func (r *Runner) reissue(entry int, e *mshr.Entry) {
-	r.nextID++
+	r.m.nextID++
 	pkt := mem.Coalesced{
-		ID:        r.nextID,
+		ID:        r.m.nextID,
 		Addr:      e.Base() << mem.BlockShift,
 		Size:      uint32(e.Blocks() * mem.BlockSize),
 		Op:        e.Op(),
@@ -759,6 +755,7 @@ func (r *Runner) completeRaw(req mem.Request) {
 	if req.Op == mem.OpLoad || req.Op == mem.OpAtomic {
 		c := &r.cores[req.Core]
 		c.outstanding.Remove(req.ID)
+		c.wake = 0 // budget may have been freed; force re-evaluation
 		lat := r.now - req.Issue
 		r.res.LoadLatency.Add(float64(lat))
 		r.res.LoadLatencyHist.Add(int(lat / 10))
@@ -799,7 +796,7 @@ func (r *Runner) issueCore(i int) {
 		if r.now < c.nextIssue {
 			return // pacing: ALU work between memory accesses
 		}
-		a = r.gens[c.proc].Next(c.localIdx)
+		a = r.nextAccess(c, i)
 		c.issued++
 		c.nextIssue = r.now + int64(r.cfg.IssueInterval)
 	}
@@ -832,10 +829,8 @@ func (r *Runner) issueAccess(coreIdx int, a workload.Access) bool {
 	if r.spaces != nil {
 		addr = r.spaces[c.proc].Translate(addr)
 	}
-	out := r.hier.Access(coreIdx, addr, a.Size, a.Op, c.proc, r.now, func() uint64 {
-		r.nextID++
-		return r.nextID
-	})
+	out := &r.outcome
+	r.hier.AccessInto(out, coreIdx, addr, a.Op, c.proc, r.now, &r.m.nextID)
 
 	// From here on the cache state is updated, so the access always
 	// "succeeds"; any outputs that cannot be queued now are parked on
@@ -873,10 +868,7 @@ func (r *Runner) appendPrefetch(group []outReq, coreIdx int, c *coreState, blk u
 	if r.dev.Outstanding() >= r.cfg.PrefetchThrottle {
 		return group // device congested: demand traffic first
 	}
-	pfReq, wbs, ok := r.hier.Prefetch(blk<<mem.BlockShift, coreIdx, c.proc, r.now, func() uint64 {
-		r.nextID++
-		return r.nextID
-	})
+	pfReq, wbs, ok := r.hier.Prefetch(blk<<mem.BlockShift, coreIdx, c.proc, r.now, &r.m.nextID)
 	if !ok {
 		return group
 	}
@@ -915,9 +907,9 @@ func (r *Runner) route(c *coreState, group []outReq) {
 // single-block packet, skipping the coalescing network. It returns false
 // when no MSHR is free (the caller falls back to the pipeline).
 func (r *Runner) directAdmit(req mem.Request, wb bool) bool {
-	r.nextID++
+	r.m.nextID++
 	pkt := mem.Coalesced{
-		ID:        r.nextID,
+		ID:        r.m.nextID,
 		Addr:      mem.BlockAlign(req.Addr),
 		Size:      mem.BlockSize,
 		Op:        req.Op,

@@ -75,6 +75,23 @@ func (h *Histogram) Add(v int) {
 // N returns the total number of observations.
 func (h *Histogram) N() int64 { return h.n }
 
+// Cap returns the bin storage capacity (the high-water mark a Grow call
+// can restore after the histogram is replaced).
+func (h *Histogram) Cap() int { return cap(h.bins) }
+
+// Grow pre-allocates storage for n bins in one allocation, so a histogram
+// that will observe values below n never reallocates in Add. Observation
+// counts and bin length are unaffected; growing below the current
+// capacity is a no-op.
+func (h *Histogram) Grow(n int) {
+	if n <= cap(h.bins) {
+		return
+	}
+	bins := make([]int64, len(h.bins), n)
+	copy(bins, h.bins)
+	h.bins = bins
+}
+
 // Count returns the number of observations with value v.
 func (h *Histogram) Count(v int) int64 {
 	if v < 0 || v >= len(h.bins) {

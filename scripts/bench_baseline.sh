@@ -3,9 +3,17 @@
 #
 # Runs the figure benches and the kernel driver comparison, then distils
 # the numbers into BENCH_kernel.json: per-bench ns/op, the kernel bench's
-# skipped-cycle percentages, and the per-mode event/reference speedups
-# with their geomean. CI and future optimisation PRs diff against this
-# file.
+# skipped-cycle percentages, the per-mode event/reference speedups with
+# their geomean, and — when a committed BENCH_kernel.json exists —
+# kernel_speedup.vs_prev: the committed baseline's event-kernel ns/op over
+# this run's, per mode and as a geomean (>1 means this tree is faster).
+# CI and future optimisation PRs diff against this file.
+#
+# Exits non-zero when the vs_prev geomean shows a regression of more than
+# 10% (geomean < 0.90): an optimisation PR must not quietly give back the
+# kernel's speed. Absolute ns/op drifts with the host, so treat vs_prev
+# as meaningful on one machine and the event/reference ratio as the
+# portable number.
 #
 # Usage: scripts/bench_baseline.sh [benchtime]
 #   benchtime: go test -benchtime value (default 2x)
@@ -14,12 +22,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 benchtime="${1:-2x}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+prev="$(mktemp)"
+trap 'rm -f "$raw" "$prev"' EXIT
+
+# The reference point is the committed baseline, not the working tree:
+# regenerating the file and re-running the script must keep comparing
+# against what the branch started from.
+git show HEAD:BENCH_kernel.json >"$prev" 2>/dev/null ||
+	cat BENCH_kernel.json >"$prev" 2>/dev/null || : >"$prev"
 
 go test -run '^$' -bench 'BenchmarkFig|BenchmarkTab1|BenchmarkKernel' \
 	-benchtime "$benchtime" . | tee "$raw"
 
 awk -v benchtime="$benchtime" '
+NR == FNR {
+	# Committed baseline: harvest event-kernel ns/op per mode from lines
+	# like  "BenchmarkKernel/PAC/event": {"ns_per_op": 3235232, ...
+	if ($0 ~ /"BenchmarkKernel\/[^"]*\/event"/) {
+		mode = $0
+		sub(/^[^"]*"BenchmarkKernel\//, "", mode)
+		sub(/\/event".*/, "", mode)
+		ns = $0
+		sub(/^.*"ns_per_op": */, "", ns)
+		sub(/[^0-9.].*$/, "", ns)
+		if (ns + 0 > 0) prevns[mode] = ns + 0
+	}
+	next
+}
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -51,6 +80,7 @@ END {
 			ref = "BenchmarkKernel/" mode "/reference"
 			if (ref in nsop && nsop[name] > 0) {
 				modes[nm] = mode
+				event[nm] = nsop[name] + 0
 				speed[nm++] = nsop[ref] / nsop[name]
 			}
 		}
@@ -61,9 +91,50 @@ END {
 		geo += log(speed[i])
 	}
 	if (nm > 0) geo = exp(geo / nm)
-	printf "    \"geomean\": %.3f\n", geo
+	printf "    \"geomean\": %.3f", geo
+	# vs_prev: committed event ns/op over this run, per mode; >1 means
+	# this tree runs the event kernel faster than the committed baseline.
+	np = 0
+	pg = 0
+	for (i = 0; i < nm; i++) {
+		if (modes[i] in prevns && event[i] > 0) {
+			vp[np] = prevns[modes[i]] / event[i]
+			vpm[np++] = modes[i]
+			pg += log(prevns[modes[i]] / event[i])
+		}
+	}
+	if (np > 0) {
+		print ","
+		print  "    \"vs_prev\": {"
+		for (i = 0; i < np; i++)
+			printf "      \"%s\": %.3f,\n", vpm[i], vp[i]
+		printf "      \"geomean\": %.3f\n", exp(pg / np)
+		print  "    }"
+	} else {
+		print ""
+	}
 	print  "  }"
 	print  "}"
-}' "$raw" >BENCH_kernel.json
+}' "$prev" "$raw" >BENCH_kernel.json
 
 echo "wrote BENCH_kernel.json"
+
+# Regression gate: fail when the event kernel lost more than 10% geomean
+# against the committed baseline. PAC_VS_PREV_GATE=warn reports without
+# failing — for hosts that do not match the one the committed baseline
+# was recorded on (CI runners), where wall-clock comparison is noise.
+vs_prev="$(awk '
+	/"vs_prev"/ { inblk = 1 }
+	inblk && /"geomean"/ { v = $2; sub(/,?$/, "", v); print v; exit }
+' BENCH_kernel.json)"
+if [ -n "$vs_prev" ]; then
+	echo "kernel_speedup.vs_prev geomean: $vs_prev (committed baseline / this run)"
+	if awk -v v="$vs_prev" 'BEGIN { exit !(v < 0.90) }'; then
+		if [ "${PAC_VS_PREV_GATE:-fail}" = "warn" ]; then
+			echo "WARN: event kernel >10% below committed BENCH_kernel.json (cross-host noise?)" >&2
+		else
+			echo "FAIL: event kernel regressed >10% vs committed BENCH_kernel.json" >&2
+			exit 1
+		fi
+	fi
+fi
