@@ -4,9 +4,9 @@
 GO ?= go
 
 .PHONY: all build test test-short test-race smoke serve smoke-serve \
-        smoke-cluster smoke-store bench-cluster chaos vet fmt bench \
-        bench-kernel bench-alloc test-alloc figures figures-quick \
-        examples fuzz clean
+        smoke-cluster smoke-store smoke-recovery bench-cluster chaos \
+        vet fmt bench bench-kernel bench-alloc test-alloc figures \
+        figures-quick examples fuzz fuzz-smoke verify clean
 
 all: vet test build
 
@@ -51,6 +51,14 @@ smoke-cluster:
 # answers from a peer's store. Emits BENCH_store.json.
 smoke-store:
 	scripts/smoke_store.sh
+
+# End-to-end crash-recovery smoke: SIGKILL a WAL-backed pacd mid-job,
+# restart it, and require the journal replay to resume the simulation
+# from its last checkpoint with a result identical to an uninterrupted
+# run. Also covers pacload -follow SSE resume and torn-journal boot.
+# Emits BENCH_recovery.json.
+smoke-recovery:
+	scripts/smoke_recovery.sh
 
 # Fleet load benchmark: pacload drives the gateway with a mixed hot/cold
 # key stream and distills throughput/latency/affinity into
@@ -112,11 +120,40 @@ examples:
 	$(GO) run ./examples/prefetchdemo
 
 # Short fuzzing passes over the binary-format parser, the coalescing
-# pipeline, and the gateway's consistent-hash ring.
+# pipeline, the gateway's consistent-hash ring, and the two durability
+# journal parsers (job WAL, store index).
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzRead -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzPipeline -fuzztime 30s
 	$(GO) test ./internal/gateway/ -fuzz FuzzRing -fuzztime 30s
+	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzJournal -fuzztime 30s
+
+# The CI-sized fuzz pass: ~30s total across every target, on top of the
+# always-on seed-corpus replay in the regular test run.
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -fuzz FuzzRead -fuzztime 5s
+	$(GO) test ./internal/core/ -fuzz FuzzPipeline -fuzztime 5s
+	$(GO) test ./internal/gateway/ -fuzz FuzzRing -fuzztime 5s
+	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 5s
+	$(GO) test ./internal/store/ -fuzz FuzzJournal -fuzztime 5s
+
+# The local pre-merge gate: formatting, vet, build, the full test suite,
+# and the pinned static analyzers when they are installed (they are
+# warn-only, matching the CI gate — this repo is stdlib-only, so both
+# tools are optional extras, never build dependencies).
+verify:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... || echo "verify: staticcheck findings (warn-only)"; \
+	else echo "verify: staticcheck not installed, skipped"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "verify: govulncheck findings (warn-only)"; \
+	else echo "verify: govulncheck not installed, skipped"; fi
 
 clean:
 	$(GO) clean ./...

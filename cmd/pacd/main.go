@@ -17,9 +17,17 @@
 // /v1/store/{key}, and -store-max-bytes/-store-max-entries cap the
 // on-disk footprint with LRU eviction.
 //
+// With -wal, every accepted job is journaled to a write-ahead log before
+// it runs: a daemon killed mid-job replays the unfinished work at the
+// next boot under the original job IDs. Add -checkpoint-dir and long
+// simulations also persist periodic deterministic checkpoints, so the
+// replay resumes mid-run instead of starting over (-checkpoint-interval
+// sets the cadence in simulated cycles). See DESIGN.md §13.
+//
 // Endpoints (see internal/server and README "Running pacd"):
 //
 //	GET  /healthz    liveness
+//	GET  /readyz     readiness (503 while booting or draining)
 //	GET  /metrics    Prometheus text exposition
 //	POST /v1/simulate, POST /v1/experiments/{id}/run, GET /v1/jobs/{id}, ...
 //
@@ -70,6 +78,11 @@ func main() {
 		storeBytes   = flag.Int64("store-max-bytes", 1<<30, "byte cap on stored entries, LRU-evicted beyond it (negative = no cap)")
 		storeEntries = flag.Int("store-max-entries", 1<<16, "count cap on stored entries, LRU-evicted beyond it (negative = no cap)")
 		peers        = flag.String("peers", "", "comma-separated base URLs of fleet peers to ask on a store miss")
+
+		// Crash-safe job durability; empty -wal keeps jobs in memory only.
+		walPath   = flag.String("wal", "", "write-ahead job journal file; unfinished jobs replay at boot (empty disables)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for periodic sim checkpoints; replayed jobs resume mid-run (empty disables)")
+		ckptEvery = flag.Int64("checkpoint-interval", 0, "simulated cycles between checkpoints (0 = default 2000000)")
 
 		// Fault-plan flags of the default session; all zero (the default)
 		// disables injection. Per-request plans arrive through the
@@ -135,21 +148,44 @@ func main() {
 		}
 	}
 
+	// The journal opens before the server so boot replay sees the orphans
+	// of the previous process; it shares the registry for pac_wal_*.
+	var (
+		jobWAL    *pac.WAL
+		recovered []pac.WALJob
+	)
+	if *walPath != "" {
+		var err error
+		jobWAL, recovered, err = pac.OpenWAL(pac.WALConfig{Path: *walPath, Registry: registry})
+		if err != nil {
+			fail(err)
+		}
+		if len(recovered) > 0 {
+			log.Printf("pacd: wal %s recovered %d unfinished jobs", *walPath, len(recovered))
+		} else {
+			log.Printf("pacd: wal %s", *walPath)
+		}
+	}
+
 	srv := pac.NewServer(pac.ServerConfig{
-		Options:        opts,
-		Parallel:       *parallel,
-		Concurrency:    *concurrency,
-		QueueDepth:     *queue,
-		MaxSessions:    *maxSessions,
-		RequestTimeout: *reqTimeout,
-		JobTimeout:     *jobTimeout,
-		MaxRetries:     *maxRetries,
-		EnablePprof:    *pprofOn,
-		NodeID:         *node,
-		Registry:       registry,
-		Store:          resultStore,
-		StoreWarm:      *storeWarm,
-		Peers:          peerURLs,
+		Options:         opts,
+		Parallel:        *parallel,
+		Concurrency:     *concurrency,
+		QueueDepth:      *queue,
+		MaxSessions:     *maxSessions,
+		RequestTimeout:  *reqTimeout,
+		JobTimeout:      *jobTimeout,
+		MaxRetries:      *maxRetries,
+		EnablePprof:     *pprofOn,
+		NodeID:          *node,
+		Registry:        registry,
+		Store:           resultStore,
+		StoreWarm:       *storeWarm,
+		Peers:           peerURLs,
+		WAL:             jobWAL,
+		Recovered:       recovered,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	})
 	if resultStore != nil {
 		if v, ok := srv.Registry().Value("pac_store_warmed_total"); ok {
@@ -190,6 +226,9 @@ func main() {
 		if resultStore != nil {
 			resultStore.Close() // best-effort durability even on a bad drain
 		}
+		if jobWAL != nil {
+			jobWAL.Close() // the jobs the drain abandoned replay next boot
+		}
 		fail(fmt.Errorf("drain: %w", err))
 	}
 	if resultStore != nil {
@@ -203,6 +242,16 @@ func main() {
 		}
 		if err := resultStore.Close(); err != nil {
 			log.Printf("pacd: store close: %v", err)
+		}
+	}
+	if jobWAL != nil {
+		// After a clean drain every journaled job has its terminal record;
+		// Flush compacts the journal so the next boot replays nothing.
+		if err := jobWAL.Flush(); err != nil {
+			log.Printf("pacd: wal flush: %v", err)
+		}
+		if err := jobWAL.Close(); err != nil {
+			log.Printf("pacd: wal close: %v", err)
 		}
 	}
 	log.Printf("pacd: drained cleanly")

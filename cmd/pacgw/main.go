@@ -1,10 +1,13 @@
 // Command pacgw is the pacd fleet gateway: a stdlib-only front-end that
 // consistent-hash-routes simulation and experiment jobs to backend pacd
 // nodes by their canonical options hash, so repeated identical requests
-// always land on the same warm session cache. It health-checks the
-// backends, ejects and routes around failing nodes, fans sweep requests
-// out across the fleet with a deterministic table merge, and exposes
-// pac_gw_* Prometheus metrics.
+// always land on the same warm session cache. It probes each backend's
+// /readyz, ejects and routes around failing or booting nodes, fans sweep
+// requests out across the fleet with a deterministic table merge, and
+// exposes pac_gw_* Prometheus metrics. When a WAL-backed backend crashes
+// and reboots, the gateway reconciles on reinstatement: it re-dispatches
+// the node's orphaned simulate jobs through the ring
+// (pac_gw_orphan_redispatch_total counts them).
 //
 // Usage:
 //
@@ -57,7 +60,7 @@ func main() {
 		addr        = flag.String("addr", ":8090", "listen address")
 		backendsCSV = flag.String("backends", "", "comma-separated backend pacd base URLs (required)")
 		replicas    = flag.Int("replicas", gateway.DefaultReplicas, "virtual nodes per backend on the hash ring")
-		healthIvl   = flag.Duration("health-interval", time.Second, "backend /healthz probe period")
+		healthIvl   = flag.Duration("health-interval", time.Second, "backend /readyz probe period")
 		failAfter   = flag.Int("fail-after", 2, "consecutive failures before a backend is ejected")
 		recoverAft  = flag.Int("recover-after", 2, "consecutive successful probes before reinstating")
 		maxRetries  = flag.Int("max-retries", 2, "failover attempts per routed request after a transport error")

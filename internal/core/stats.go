@@ -63,6 +63,16 @@ type Stats struct {
 	MAQFill stats.Mean
 }
 
+// Clone returns an independent deep copy of the stats: the histograms'
+// bin storage is duplicated, so the copy stays valid while the original
+// keeps accumulating (checkpointing relies on this).
+func (s *Stats) Clone() Stats {
+	out := *s
+	out.SizeHist = s.SizeHist.Clone()
+	out.Occupancy = s.Occupancy.Clone()
+	return out
+}
+
 // CoalescingEfficiency returns the paper's Equation 1 metric — the
 // proportion of raw requests eliminated by coalescing — in percent.
 func (s *Stats) CoalescingEfficiency() float64 {

@@ -24,6 +24,30 @@ type simKey struct {
 
 func (k simKey) String() string { return fmt.Sprintf("%s/%d/%s", k.bench, k.mode, k.v) }
 
+// CheckpointPolicy lets a serving layer persist and resume mid-run
+// simulation state. When a session has one, every default-variant
+// simulation emits a sim.Checkpoint through Sink at the configured
+// cadence, consults Load before starting (a stored checkpoint resumes
+// the run mid-flight; one that no longer matches is dropped and the run
+// starts fresh), and drops its checkpoint once it completes. Resumed
+// runs are byte-identical to uninterrupted ones — the sim layer's
+// checkpoint contract — so memoised results never depend on whether a
+// crash happened. Non-default variants (the experiment sweeps) are
+// short and numerous; they run without checkpoints.
+type CheckpointPolicy struct {
+	// Every is the checkpoint cadence in simulated cycles (<= 0
+	// disables emission; Load/Drop still apply).
+	Every int64
+	// Sink receives each emitted checkpoint. It runs on the simulation
+	// goroutine, so slow sinks stretch the run.
+	Sink func(bench string, mode coalesce.Mode, ck *sim.Checkpoint)
+	// Load returns the stored checkpoint for a key, or nil.
+	Load func(bench string, mode coalesce.Mode) *sim.Checkpoint
+	// Drop discards the stored checkpoint (called after a completed run,
+	// and when a loaded checkpoint fails to restore).
+	Drop func(bench string, mode coalesce.Mode)
+}
+
 // memoEntry is one singleflight slot: a detached goroutine computes the
 // value and closes done; every caller for the key — including the one
 // that created the entry — blocks on done (or its own context) and
@@ -63,6 +87,7 @@ type Session struct {
 	latched bool
 	progFn  func(string)
 	hooks   *telemetry.Hooks
+	ckpt    *CheckpointPolicy
 
 	// scratch recycles sim.Scratch arenas across the session's runs, so
 	// a long-lived session (the pacd worker pool) reaches a steady state
@@ -86,6 +111,11 @@ type Session struct {
 	// type serializes its own invocations, so one *telemetry.Hooks may
 	// be shared across sessions.
 	Hooks *telemetry.Hooks
+
+	// Checkpoints, when set, is the crash-recovery policy for this
+	// session's default-variant simulations (see CheckpointPolicy). Like
+	// Progress and Hooks it is latched on first use.
+	Checkpoints *CheckpointPolicy
 }
 
 // NewSession creates a session.
@@ -109,6 +139,7 @@ func (s *Session) latchLocked() {
 		s.latched = true
 		s.progFn = s.Progress
 		s.hooks = s.Hooks
+		s.ckpt = s.Checkpoints
 	}
 }
 
@@ -280,17 +311,62 @@ func (s *Session) runSim(ctx context.Context, k simKey) (*sim.Result, error) {
 	cfg := s.simConfig(k.bench, k.mode, k.v)
 	cfg.Hooks = s.hooks
 	cfg.Scratch = s.getScratch()
-	runner, err := sim.NewRunner(cfg)
+	runner, err := s.newRunner(cfg, k)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", k, err)
 	}
 	res, err := runner.RunContext(ctx)
 	s.scratch.Put(cfg.Scratch)
 	if err != nil {
+		// A cancelled run keeps its latest checkpoint: the whole point is
+		// that the next attempt resumes instead of restarting.
 		return nil, fmt.Errorf("experiments: %s: %w", k, err)
+	}
+	if cp := s.ckpt; cp != nil && cp.Drop != nil && k.v == varDefault {
+		cp.Drop(k.bench, k.mode)
 	}
 	s.noteDone(fmt.Sprintf("ran %-10s %-9s %-6s cycles=%d", k.bench, k.mode, k.v, res.Cycles))
 	return res, nil
+}
+
+// newRunner builds the run's sim.Runner, applying the session's
+// checkpoint policy for default-variant keys: arm the checkpoint sink,
+// and resume from a stored checkpoint when one restores cleanly. A
+// checkpoint that fails to restore (changed options, corrupt state) is
+// dropped and the run starts fresh — stale recovery state must never
+// block new work.
+func (s *Session) newRunner(cfg sim.Config, k simKey) (*sim.Runner, error) {
+	cp := s.ckpt
+	if cp == nil || k.v != varDefault {
+		return sim.NewRunner(cfg)
+	}
+	if cp.Every > 0 && cp.Sink != nil {
+		bench, mode := k.bench, k.mode
+		cfg.CheckpointEvery = cp.Every
+		cfg.CheckpointSink = func(ck *sim.Checkpoint) { cp.Sink(bench, mode, ck) }
+	}
+	if cp.Load != nil {
+		if ck := cp.Load(k.bench, k.mode); ck != nil {
+			if r, err := sim.ResumeFrom(cfg, ck); err == nil {
+				s.noteResumed(k, ck.Now)
+				return r, nil
+			}
+			if cp.Drop != nil {
+				cp.Drop(k.bench, k.mode)
+			}
+		}
+	}
+	return sim.NewRunner(cfg)
+}
+
+// noteResumed emits the resume progress line; serving layers and the
+// recovery smoke test read the cycle offset from it.
+func (s *Session) noteResumed(k simKey, cycle int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.progFn != nil {
+		s.progFn(fmt.Sprintf("resumed %s %s from checkpoint at cycle %d", k.bench, k.mode, cycle))
+	}
 }
 
 // trace captures (or recalls) the LLC-level request stream of one

@@ -35,7 +35,7 @@ type Config struct {
 	// Replicas is the virtual-node count per backend on the ring
 	// (default DefaultReplicas).
 	Replicas int
-	// HealthInterval is the /healthz probe period (default 1s).
+	// HealthInterval is the backend /readyz probe period (default 1s).
 	HealthInterval time.Duration
 	// FailThreshold ejects a backend after this many consecutive failed
 	// probes or proxy transport errors (default 2).
@@ -326,8 +326,11 @@ func (g *Gateway) probeAll() {
 	wg.Wait()
 }
 
-// probe hits one backend's /healthz with a deadline well under the probe
-// interval, so a wedged backend cannot stall the loop.
+// probe hits one backend's /readyz — readiness, not liveness — with a
+// deadline well under the probe interval, so a wedged backend cannot
+// stall the loop. A daemon that is up but still replaying its WAL (or
+// draining) answers 503 there and stays ejected until it can actually
+// take traffic.
 func (g *Gateway) probe(b *backend) {
 	timeout := g.cfg.HealthInterval
 	if timeout > 2*time.Second {
@@ -335,7 +338,7 @@ func (g *Gateway) probe(b *backend) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.name+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.name+"/readyz", nil)
 	if err != nil {
 		g.noteFailure(b)
 		return
@@ -391,6 +394,70 @@ func (g *Gateway) noteSuccess(b *backend) {
 			"backend", b.name).Inc()
 		g.reg.Gauge("pac_gw_backend_up", "Backend liveness as seen by the gateway health loop.",
 			"backend", b.name).Set(1)
+		// A reinstated backend just finished a boot (or recovered from a
+		// partition) — reconcile the jobs its journal replayed, so work a
+		// crashed worker left behind finishes even if clients moved on.
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.recoverOrphans(b)
+		}()
+	}
+}
+
+// recoverOrphans asks a just-reinstated backend for its orphaned jobs —
+// journaled before the crash, re-enqueued at boot, not yet terminal —
+// and re-dispatches each simulate payload through the normal routing
+// path. The redispatch lands as an ordinary request: the ring may route
+// it to the recovering node itself (where it dedups against the replayed
+// job's session memo) or to a failover node that already computed the
+// result while the owner was down (a store hit). Either way the fleet
+// converges without re-simulating finished work.
+func (g *Gateway) recoverOrphans(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		select {
+		case <-g.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	resp, err := g.forward(ctx, b, http.MethodGet, "/v1/jobs", "state=orphaned", nil, http.Header{})
+	if err != nil {
+		return
+	}
+	var listing struct {
+		Jobs []struct {
+			ID      string          `json:"id"`
+			Kind    string          `json:"kind"`
+			Request json.RawMessage `json:"request"`
+		} `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		return
+	}
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	for _, oj := range listing.Jobs {
+		if oj.Kind != "simulate" || len(oj.Request) == 0 {
+			continue
+		}
+		key, _, _, err := g.simKeyFor(oj.Request)
+		if err != nil {
+			continue
+		}
+		res, err := g.dispatch(ctx, key, http.MethodPost, "/v1/simulate", "", oj.Request, hdr)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, res.resp.Body)
+		res.resp.Body.Close()
+		g.reg.Counter("pac_gw_orphan_redispatch_total",
+			"Orphaned jobs re-dispatched after a backend was reinstated.",
+			"backend", b.name).Inc()
 	}
 }
 

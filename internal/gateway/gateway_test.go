@@ -110,18 +110,21 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
-// newStubBackend builds a minimal fake pacd whose /healthz follows
-// healthy() and whose /v1/simulate is the given handler (404 when nil).
+// newStubBackend builds a minimal fake pacd whose /healthz and /readyz
+// follow healthy() and whose /v1/simulate is the given handler (404
+// when nil).
 func newStubBackend(t *testing.T, healthy func() bool, simulate http.HandlerFunc) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	probe := func(w http.ResponseWriter, r *http.Request) {
 		if healthy() {
 			w.Write([]byte(`{"status": "ok"}`))
 			return
 		}
 		http.Error(w, "down", http.StatusInternalServerError)
-	})
+	}
+	mux.HandleFunc("GET /healthz", probe)
+	mux.HandleFunc("GET /readyz", probe)
 	if simulate != nil {
 		mux.HandleFunc("POST /v1/simulate", simulate)
 	}

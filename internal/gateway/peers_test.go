@@ -69,9 +69,11 @@ func TestJobForwardOmitsPeerHints(t *testing.T) {
 	var mu sync.Mutex
 	sawJobsHeader := false
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	probe := func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte(`{"status": "ok"}`))
-	})
+	}
+	mux.HandleFunc("GET /healthz", probe)
+	mux.HandleFunc("GET /readyz", probe)
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		if r.Header.Get(server.PeersHeader) != "" {

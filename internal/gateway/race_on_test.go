@@ -1,0 +1,7 @@
+//go:build race
+
+package gateway
+
+// raceEnabled lets timing-sensitive chaos tests shrink their workloads:
+// the race detector slows simulations by an order of magnitude.
+const raceEnabled = true

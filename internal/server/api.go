@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -38,7 +39,11 @@ type sessionPool struct {
 	seq      int64
 	hooks    *telemetry.Hooks
 	progress func(string)
-	entries  map[string]*poolEntry
+	// ckptPolicy, when non-nil, builds the crash-recovery checkpoint
+	// policy each new session is created with (keyed by the session's
+	// canonical options hash); nil keeps sessions checkpoint-free.
+	ckptPolicy func(optsKey string) *experiments.CheckpointPolicy
+	entries    map[string]*poolEntry
 }
 
 type poolEntry struct {
@@ -46,12 +51,14 @@ type poolEntry struct {
 	lastUse int64
 }
 
-func newSessionPool(cap int, hooks *telemetry.Hooks, progress func(string)) *sessionPool {
+func newSessionPool(cap int, hooks *telemetry.Hooks, progress func(string),
+	ckptPolicy func(optsKey string) *experiments.CheckpointPolicy) *sessionPool {
 	return &sessionPool{
-		cap:      cap,
-		hooks:    hooks,
-		progress: progress,
-		entries:  make(map[string]*poolEntry),
+		cap:        cap,
+		hooks:      hooks,
+		progress:   progress,
+		ckptPolicy: ckptPolicy,
+		entries:    make(map[string]*poolEntry),
 	}
 }
 
@@ -71,6 +78,9 @@ func (p *sessionPool) session(opts experiments.Options) (*experiments.Session, s
 	sess := experiments.NewSession(opts)
 	sess.Hooks = p.hooks
 	sess.Progress = p.progress
+	if p.ckptPolicy != nil {
+		sess.Checkpoints = p.ckptPolicy(key)
+	}
 	p.entries[key] = &poolEntry{sess: sess, lastUse: p.seq}
 	for len(p.entries) > p.cap {
 		oldestKey, oldest := "", int64(1<<62)
@@ -260,21 +270,44 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	opts, bench, mode, err := s.validate(req)
+	run, payload, err := s.buildSimulateRun(req, peerList(s.cfg.Peers, r.Header.Get(PeersHeader)))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	job, err := s.jobs.submit("simulate", payload, run)
+	if !s.submitted(w, job, err) {
+		return
+	}
+	s.respondSimulate(w, r, job)
+}
+
+// buildSimulateRun resolves a simulate request into its job closure plus
+// the canonical WAL payload (the request's JSON encoding — resolution
+// against the base options is deterministic, so replaying the payload
+// after a crash reproduces the original job exactly). The HTTP handler
+// and the boot replay share this one path.
+func (s *Server) buildSimulateRun(req SimulateRequest, peers []string) (func(ctx context.Context) (any, error), []byte, error) {
+	opts, bench, mode, err := s.validate(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
 	sess, optsKey := s.pool.session(opts)
 	hash := configHash(optsKey, bench, mode)
-	peers := peerList(s.cfg.Peers, r.Header.Get(PeersHeader))
-	job, err := s.jobs.submit("simulate", func(ctx context.Context) (any, error) {
+	run := func(ctx context.Context) (any, error) {
 		// Resolve the cache source cheapest-first: session memo, local
 		// durable store, fleet peers, then a fresh simulation. Disk and
 		// peer hits are seeded into the memo, so sess.Result below is a
 		// pure lookup for every source except a true miss. Concurrent
 		// misses for the same key still share one run: Seed is a no-op
-		// against an in-flight entry and Result joins it.
+		// against an in-flight entry and Result joins it. This layering
+		// also makes WAL replay effectively exactly-once: a job that
+		// finished between its terminal record being lost and the crash
+		// re-runs as a memo/disk hit, not a second simulation.
 		source := CacheMemo
 		if !sess.Memoized(bench, mode) {
 			source = CacheMiss
@@ -299,11 +332,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Cache:      source,
 			Result:     res,
 		}, nil
-	})
-	if !s.submitted(w, job, err) {
-		return
 	}
-	s.respondSimulate(w, r, job)
+	return run, payload, nil
 }
 
 // respondSimulate is respondJob plus the X-Pac-Cache header: when the
@@ -358,14 +388,41 @@ func (s *Server) handleListExperiments(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	exp, ok := experiments.ByID(id)
-	if !ok {
+	if _, ok := experiments.ByID(id); !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (GET /v1/experiments lists them)", id))
 		return
 	}
+	run, payload, err := s.buildExperimentRun(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	job, err := s.jobs.submit("experiment", payload, run)
+	if !s.submitted(w, job, err) {
+		return
+	}
+	s.respondJob(w, r, job)
+}
+
+// experimentRequest is the WAL payload of an experiment job.
+type experimentRequest struct {
+	ID string `json:"id"`
+}
+
+// buildExperimentRun resolves an experiment ID into its job closure plus
+// the canonical WAL payload; shared by the HTTP handler and boot replay.
+func (s *Server) buildExperimentRun(id string) (func(ctx context.Context) (any, error), []byte, error) {
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown experiment %q", id)
+	}
+	payload, err := json.Marshal(experimentRequest{ID: id})
+	if err != nil {
+		return nil, nil, err
+	}
 	sess, _ := s.pool.session(s.defaultOptions())
 	parallel := s.cfg.Parallel
-	job, err := s.jobs.submit("experiment", func(ctx context.Context) (any, error) {
+	run := func(ctx context.Context) (any, error) {
 		// Precompute executes every declared simulation under ctx on the
 		// worker pool; rendering afterwards is pure memo lookup.
 		if err := sess.Precompute(ctx, parallel, id); err != nil {
@@ -383,11 +440,8 @@ func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 			text.WriteByte('\n')
 		}
 		return ExperimentResult{ID: exp.ID, Artefact: exp.Artefact, Tables: tables, Text: text.String()}, nil
-	})
-	if !s.submitted(w, job, err) {
-		return
 	}
-	s.respondJob(w, r, job)
+	return run, payload, nil
 }
 
 // submitted maps submit errors to 429/503; it reports whether the job
@@ -462,10 +516,27 @@ func (s *Server) await(ctx context.Context, job *Job, window time.Duration) bool
 	return job.Status().terminal()
 }
 
-func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+// handleListJobs lists retained jobs, optionally filtered by ?state=.
+// Besides the five job statuses, state=orphaned selects WAL-recovered
+// jobs that have not yet finished — the reconciliation set a gateway
+// re-dispatches after a worker restart; those views carry the journaled
+// request body so the redispatch is verbatim.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("state")
 	views := []jobView{}
 	for _, j := range s.jobs.list() {
-		views = append(views, j.view(false))
+		switch state {
+		case "":
+			views = append(views, j.view(false))
+		case "orphaned":
+			if j.isOrphaned() {
+				views = append(views, j.view(true))
+			}
+		default:
+			if string(j.Status()) == state {
+				views = append(views, j.view(false))
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
@@ -498,8 +569,12 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobEvents streams job progress as Server-Sent Events: one
-// "progress" event per line, then a single "done" event carrying the
-// job's terminal view.
+// "progress" event per line (each carrying a monotonic event ID), then
+// a single "done" event with the job's terminal view. A reconnecting
+// client sends the standard Last-Event-ID header (or ?lastEventId=) and
+// resumes exactly where its severed stream stopped — retention permits
+// replaying only the most recent maxProgressLines, so a very stale
+// cursor resumes from the oldest retained line.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
@@ -511,12 +586,20 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	after := 0
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("lastEventId")
+	}
+	if n, err := strconv.Atoi(lastID); err == nil && n > 0 {
+		after = n
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	lines, unsubscribe := job.subscribe()
+	lines, unsubscribe := job.subscribe(after)
 	defer unsubscribe()
 	// keepAlive ticks whenever the stream has been idle for the
 	// configured interval; the comment line keeps proxies and LBs from
@@ -530,7 +613,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		select {
-		case line, open := <-lines:
+		case ev, open := <-lines:
 			if !open {
 				// Terminal: emit the final state and end the stream.
 				payload, _ := json.Marshal(job.view(true))
@@ -538,7 +621,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 				return
 			}
-			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", sseEscape(line))
+			fmt.Fprintf(w, "id: %d\nevent: progress\ndata: %s\n\n", ev.ID, sseEscape(ev.Line))
 			flusher.Flush()
 		case <-keepAlive:
 			fmt.Fprint(w, ": keep-alive\n\n")

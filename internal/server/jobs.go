@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/pacsim/pac/internal/telemetry"
+	"github.com/pacsim/pac/internal/wal"
 )
 
 // Status is a job's lifecycle state.
@@ -50,6 +52,15 @@ type Job struct {
 
 	run func(ctx context.Context) (any, error)
 
+	// payload is the canonical request body journaled to the WAL (nil
+	// without a journal); orphaned-job views expose it so a gateway can
+	// re-dispatch the work verbatim.
+	payload []byte
+	// recovered marks a job re-enqueued from the WAL at boot replay; it
+	// runs under its original ID and is reported as "orphaned" until it
+	// reaches a terminal state.
+	recovered bool
+
 	// clientCancel is closed (once) when DELETE /v1/jobs/{id} aborts
 	// the job, distinguishing a user cancellation from a watchdog kill:
 	// the former is terminal, the latter is retryable.
@@ -62,7 +73,7 @@ type Job struct {
 	result   json.RawMessage
 	progress []string
 	dropped  int // progress lines evicted by the retention cap
-	subs     []chan string
+	subs     []chan progressEvent
 	done     chan struct{}
 	cancel   context.CancelFunc // cancels the running attempt's context
 	attempts int                // execution attempts so far (1 = no retries yet)
@@ -94,6 +105,23 @@ func (j *Job) Status() Status {
 	return j.status
 }
 
+// isOrphaned reports a WAL-recovered job that has not yet reached a
+// terminal state — the set a gateway reconciles after a worker restart.
+func (j *Job) isOrphaned() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered && !j.status.terminal()
+}
+
+// progressEvent is one progress line with its absolute 1-based sequence
+// number. IDs survive retention trims (id = dropped + slice position),
+// so an SSE client can resume a severed stream with Last-Event-ID and
+// receive exactly the lines it missed.
+type progressEvent struct {
+	ID   int
+	Line string
+}
+
 // addProgress appends one progress line and fans it out to subscribers.
 func (j *Job) addProgress(line string) {
 	j.mu.Lock()
@@ -102,32 +130,39 @@ func (j *Job) addProgress(line string) {
 		return
 	}
 	j.progress = append(j.progress, line)
+	ev := progressEvent{ID: j.dropped + len(j.progress), Line: line}
 	if len(j.progress) > maxProgressLines {
 		j.dropped += len(j.progress) - maxProgressLines
 		j.progress = j.progress[len(j.progress)-maxProgressLines:]
 	}
 	for _, ch := range j.subs {
 		select {
-		case ch <- line:
+		case ch <- ev:
 		default: // slow subscriber: drop rather than block the job
 		}
 	}
 }
 
-// subscribe registers a progress listener, replaying the lines seen so
-// far; the channel is closed when the job finishes. The returned cancel
-// must be called when the listener leaves.
-func (j *Job) subscribe() (<-chan string, func()) {
-	ch := make(chan string, maxProgressLines)
+// subscribe registers a progress listener, replaying the retained lines
+// with IDs greater than after (0 replays everything retained); the
+// channel is closed when the job finishes. The returned cancel must be
+// called when the listener leaves.
+func (j *Job) subscribe(after int) (<-chan progressEvent, func()) {
+	ch := make(chan progressEvent, maxProgressLines)
 	j.mu.Lock()
-	replay := append([]string(nil), j.progress...)
+	var replay []progressEvent
+	for i, line := range j.progress {
+		if id := j.dropped + i + 1; id > after {
+			replay = append(replay, progressEvent{ID: id, Line: line})
+		}
+	}
 	closed := j.status.terminal()
 	if !closed {
 		j.subs = append(j.subs, ch)
 	}
 	j.mu.Unlock()
-	for _, line := range replay {
-		ch <- line
+	for _, ev := range replay {
+		ch <- ev
 	}
 	if closed {
 		close(ch)
@@ -170,14 +205,22 @@ func (j *Job) finish(status Status, result json.RawMessage, err error) {
 
 // jobView is the JSON representation of a job.
 type jobView struct {
-	ID         string          `json:"id"`
-	Kind       string          `json:"kind"`
-	Node       string          `json:"node,omitempty"`
-	Status     Status          `json:"status"`
-	Error      string          `json:"error,omitempty"`
-	Progress   []string        `json:"progress,omitempty"`
-	Dropped    int             `json:"progressDropped,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Node     string          `json:"node,omitempty"`
+	Status   Status          `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Progress []string        `json:"progress,omitempty"`
+	Dropped  int             `json:"progressDropped,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	// Recovered marks a job the WAL re-enqueued at boot under its
+	// original ID; with a non-terminal status it is "orphaned" (GET
+	// /v1/jobs?state=orphaned), the set a gateway reconciles after a
+	// worker restart.
+	Recovered bool `json:"recovered,omitempty"`
+	// Request is the journaled request body (detailed views only), so a
+	// gateway can re-dispatch an orphaned job verbatim.
+	Request    json.RawMessage `json:"request,omitempty"`
 	Attempts   int             `json:"attempts,omitempty"`
 	CreatedAt  time.Time       `json:"createdAt"`
 	StartedAt  *time.Time      `json:"startedAt,omitempty"`
@@ -197,11 +240,15 @@ func (j *Job) view(withResult bool) jobView {
 		Error:     j.err,
 		Progress:  append([]string(nil), j.progress...),
 		Dropped:   j.dropped,
+		Recovered: j.recovered,
 		Attempts:  j.attempts,
 		CreatedAt: j.created,
 	}
 	if withResult {
 		v.Result = j.result
+		if len(j.payload) > 0 {
+			v.Request = json.RawMessage(j.payload)
+		}
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -227,12 +274,21 @@ type jobManager struct {
 	// backoff between attempts.
 	maxRetries int
 	retryBase  time.Duration
+	// wal, when set, journals every accepted job before it is exposed
+	// and records each lifecycle transition, so a crashed daemon's boot
+	// replay can re-enqueue unfinished work under its original IDs.
+	wal *wal.Log
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	queue chan *Job
-	wg    sync.WaitGroup
+	// resubMu serializes resubmit's blocking queue sends against drain's
+	// queue close: resubmit holds the read side across its send, drain
+	// takes the write side before closing, so a boot replay racing a
+	// shutdown can never send on a closed channel.
+	resubMu sync.RWMutex
+	wg      sync.WaitGroup
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -243,7 +299,8 @@ type jobManager struct {
 }
 
 func newJobManager(workers, depth int, jobTimeout time.Duration, retain, maxRetries int,
-	retryBase time.Duration, node string, hooks *telemetry.Hooks, reg *telemetry.Registry) *jobManager {
+	retryBase time.Duration, node string, journal *wal.Log,
+	hooks *telemetry.Hooks, reg *telemetry.Registry) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
 		hooks:      hooks,
@@ -253,6 +310,7 @@ func newJobManager(workers, depth int, jobTimeout time.Duration, retain, maxRetr
 		node:       node,
 		maxRetries: maxRetries,
 		retryBase:  retryBase,
+		wal:        journal,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, depth),
@@ -267,8 +325,10 @@ func newJobManager(workers, depth int, jobTimeout time.Duration, retain, maxRetr
 }
 
 // submit enqueues a job; errBusy when the queue is full, errDraining
-// after drain started.
-func (m *jobManager) submit(kind string, run func(ctx context.Context) (any, error)) (*Job, error) {
+// after drain started. payload is the canonical request body journaled
+// to the WAL (and surfaced on orphaned-job views); nil is fine for
+// unjournaled managers.
+func (m *jobManager) submit(kind string, payload []byte, run func(ctx context.Context) (any, error)) (*Job, error) {
 	m.mu.Lock()
 	if !m.accepting {
 		m.mu.Unlock()
@@ -286,6 +346,7 @@ func (m *jobManager) submit(kind string, run func(ctx context.Context) (any, err
 		kind:         kind,
 		node:         m.node,
 		run:          run,
+		payload:      payload,
 		status:       StatusQueued,
 		done:         make(chan struct{}),
 		clientCancel: make(chan struct{}),
@@ -299,6 +360,18 @@ func (m *jobManager) submit(kind string, run func(ctx context.Context) (any, err
 		m.reg.Counter("pac_jobs_rejected_total", "Jobs rejected with 429 on a full queue.").Inc()
 		return nil, errBusy
 	}
+	if m.wal != nil {
+		if err := m.wal.Submit(id, kind, payload); err != nil {
+			// The job is already on the queue; poison it so the worker
+			// skips it on pickup, and refuse the submission — a job the
+			// journal cannot make durable is never acknowledged.
+			m.mu.Unlock()
+			j.finish(StatusFailed, nil, err)
+			m.reg.Counter("pac_wal_journal_errors_total",
+				"WAL appends that failed.").Inc()
+			return nil, fmt.Errorf("server: journaling job: %w", err)
+		}
+	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.evictLocked()
@@ -306,6 +379,72 @@ func (m *jobManager) submit(kind string, run func(ctx context.Context) (any, err
 	m.reg.Counter("pac_jobs_submitted_total", "Jobs accepted into the queue.", "kind", kind).Inc()
 	m.noteDepth()
 	return j, nil
+}
+
+// resubmit re-enqueues a journaled job under its original ID during
+// boot replay: no new submit record is written (the journal already has
+// one), the ID counter is fast-forwarded past the recovered ID, and the
+// queue send blocks — the workers are live and draining, so recovery
+// applies backpressure instead of dropping work. Returns nil when the
+// manager is already draining.
+func (m *jobManager) resubmit(id, kind string, payload []byte, run func(ctx context.Context) (any, error)) *Job {
+	m.resubMu.RLock()
+	defer m.resubMu.RUnlock()
+	m.mu.Lock()
+	if !m.accepting {
+		m.mu.Unlock()
+		return nil
+	}
+	if _, exists := m.jobs[id]; exists {
+		m.mu.Unlock()
+		return nil
+	}
+	m.bumpNextIDLocked(id)
+	j := &Job{
+		id:           id,
+		kind:         kind,
+		node:         m.node,
+		run:          run,
+		payload:      payload,
+		recovered:    true,
+		status:       StatusQueued,
+		done:         make(chan struct{}),
+		clientCancel: make(chan struct{}),
+		created:      time.Now(),
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	m.queue <- j
+	m.reg.Counter("pac_jobs_recovered_total",
+		"Journaled jobs re-enqueued under their original IDs at boot replay.", "kind", kind).Inc()
+	m.noteDepth()
+	return j
+}
+
+// bumpNextIDLocked fast-forwards the ID counter past a recovered job's
+// ID, so post-recovery submissions never collide with replayed ones.
+func (m *jobManager) bumpNextIDLocked(id string) {
+	if m.node != "" {
+		id = strings.TrimPrefix(id, m.node+"-")
+	}
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > m.nextID {
+		m.nextID = n
+	}
+}
+
+// journal applies one WAL lifecycle append. Errors after acceptance are
+// counted but never fail the job: once the submit record is durable the
+// journal is an at-least-once floor, not a gate — a lost terminal record
+// merely means one extra (memo-deduplicated) replay next boot.
+func (m *jobManager) journal(op func(id string) error, id string) {
+	if m.wal == nil {
+		return
+	}
+	if err := op(id); err != nil {
+		m.reg.Counter("pac_wal_journal_errors_total", "WAL appends that failed.").Inc()
+	}
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention cap.
@@ -384,6 +523,7 @@ func (m *jobManager) worker() {
 		j.status = StatusRunning
 		j.started = time.Now()
 		j.mu.Unlock()
+		m.journal(m.walRunning, j.id)
 		m.execute(j, running)
 	}
 }
@@ -516,9 +656,22 @@ func isCancelled(err error) bool {
 }
 
 func (m *jobManager) noteFinished(j *Job, status Status) {
+	if m.wal != nil {
+		switch status {
+		case StatusDone:
+			m.journal(m.wal.Done, j.id)
+		case StatusFailed:
+			m.journal(m.wal.Fail, j.id)
+		case StatusCancelled:
+			m.journal(m.wal.Cancel, j.id)
+		}
+	}
 	m.reg.Counter("pac_jobs_finished_total", "Jobs finished, by kind and status.",
 		"kind", j.kind, "status", string(status)).Inc()
 }
+
+// walRunning adapts wal.Running to the journal helper's signature.
+func (m *jobManager) walRunning(id string) error { return m.wal.Running(id) }
 
 // noteDepth records the queue depth through the telemetry hooks (the
 // KindQueueDepth event keeps the pac_jobs_queue_depth gauge current).
@@ -544,7 +697,9 @@ func (m *jobManager) drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.accepting = false
 	m.mu.Unlock()
+	m.resubMu.Lock()
 	m.closing.Do(func() { close(m.queue) })
+	m.resubMu.Unlock()
 
 	finished := make(chan struct{})
 	go func() {

@@ -29,16 +29,19 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/pacsim/pac/internal/experiments"
 	"github.com/pacsim/pac/internal/store"
 	"github.com/pacsim/pac/internal/telemetry"
+	"github.com/pacsim/pac/internal/wal"
 )
 
 // Config parameterises the daemon. The zero value serves the paper's
@@ -113,6 +116,26 @@ type Config struct {
 	Peers []string
 	// PeerTimeout caps each peer store fetch (default 3s).
 	PeerTimeout time.Duration
+	// WAL, when set, is the write-ahead job journal: every accepted job
+	// is journaled before it is acknowledged and each lifecycle
+	// transition is recorded, so a crashed daemon re-enqueues its
+	// unfinished jobs under their original IDs at the next boot. The
+	// caller owns the journal's lifecycle (cmd/pacd opens it before New
+	// and closes it after Drain), matching the Store pattern. Nil keeps
+	// the queue memory-only.
+	WAL *wal.Log
+	// Recovered are the non-terminal jobs the WAL replayed at open; New
+	// re-enqueues them during async boot, before /readyz reports ready.
+	Recovered []wal.Job
+	// CheckpointDir, when non-empty, holds one resumable checkpoint per
+	// in-flight default-variant simulation (see internal/server
+	// checkpoint.go): recovered jobs resume from their last checkpoint
+	// instead of restarting, and the resumed result is byte-identical to
+	// an uninterrupted run. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in simulated cycles
+	// (default 2,000,000 when CheckpointDir is set).
+	CheckpointEvery int64
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +178,9 @@ func (c Config) withDefaults() Config {
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 3 * time.Second
 	}
+	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2_000_000
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
@@ -170,35 +196,94 @@ type Server struct {
 	pool       *sessionPool
 	jobs       *jobManager
 	store      *store.Store
+	ckpts      *checkpointStore
 	peerClient *http.Client
 	peerHits   *telemetry.Counter
 	peerMisses *telemetry.Counter
 	mux        http.Handler
 	start      time.Time
+	// ready closes once async boot (store warm-up, WAL replay) finishes;
+	// /readyz answers 503 until then. draining flips on Drain so the
+	// gateway's readiness probes route around a stopping node before its
+	// listener goes away.
+	ready    chan struct{}
+	draining atomic.Bool
 }
 
 // New builds a ready-to-serve server; callers mount Handler on an
-// http.Server and call Drain on shutdown.
+// http.Server and call Drain on shutdown. The listener can be mounted
+// immediately: boot work that takes real time — store warm-up and WAL
+// replay — runs asynchronously, with /readyz reporting 503 until it
+// finishes (Ready exposes the same signal programmatically).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, reg: cfg.Registry, store: cfg.Store, start: time.Now()}
+	s := &Server{cfg: cfg, reg: cfg.Registry, store: cfg.Store, start: time.Now(),
+		ready: make(chan struct{})}
 	s.hooks = telemetry.InstrumentedHooks(s.reg)
 	s.peerClient = &http.Client{Timeout: cfg.PeerTimeout}
 	s.peerHits = s.reg.Counter("pac_store_peer_hits_total",
 		"Store misses answered by a fleet peer's store.")
 	s.peerMisses = s.reg.Counter("pac_store_peer_misses_total",
 		"Peer store lookups that found no peer with the entry.")
+	if cfg.CheckpointDir != "" {
+		s.ckpts = newCheckpointStore(cfg.CheckpointDir, s.reg)
+	}
 	s.jobs = newJobManager(cfg.Concurrency, cfg.QueueDepth, cfg.JobTimeout,
-		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, cfg.NodeID, s.hooks, s.reg)
-	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress)
+		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, cfg.NodeID, cfg.WAL, s.hooks, s.reg)
+	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress, s.checkpointPolicy)
 	// Materialise the default session eagerly so the daemon's base
 	// options are always resident and experiment jobs share one memo.
 	s.pool.session(s.defaultOptions())
-	if s.store != nil && cfg.StoreWarm > 0 {
-		s.warmFromStore(cfg.StoreWarm)
-	}
 	s.mux = s.routes()
+	go func() {
+		defer close(s.ready)
+		if s.store != nil && cfg.StoreWarm > 0 {
+			s.warmFromStore(cfg.StoreWarm)
+		}
+		s.replayWAL(cfg.Recovered)
+	}()
 	return s
+}
+
+// Ready returns a channel closed once boot (store warm-up, WAL replay)
+// finishes and /readyz starts answering 200.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// replayWAL re-enqueues the journaled, non-terminal jobs wal.Open
+// recovered, under their original IDs. A payload that no longer
+// resolves (changed base options, vanished experiment) is marked failed
+// in the journal rather than wedging recovery. At-least-once semantics
+// compose with the memo/store dedup into effectively exactly-once
+// execution: a job whose work actually completed before the crash
+// replays as a cache hit.
+func (s *Server) replayWAL(recovered []wal.Job) {
+	for _, rj := range recovered {
+		var run func(ctx context.Context) (any, error)
+		var err error
+		switch rj.Kind {
+		case "simulate":
+			var req SimulateRequest
+			if err = json.Unmarshal(rj.Payload, &req); err == nil {
+				run, _, err = s.buildSimulateRun(req, s.cfg.Peers)
+			}
+		case "experiment":
+			var req experimentRequest
+			if err = json.Unmarshal(rj.Payload, &req); err == nil {
+				run, _, err = s.buildExperimentRun(req.ID)
+			}
+		default:
+			err = fmt.Errorf("unknown job kind %q", rj.Kind)
+		}
+		if err != nil {
+			if s.cfg.WAL != nil {
+				_ = s.cfg.WAL.Fail(rj.ID)
+			}
+			s.reg.Counter("pac_jobs_recovery_failed_total",
+				"Journaled jobs that no longer resolved at boot replay.", "kind", rj.Kind).Inc()
+			continue
+		}
+		s.jobs.resubmit(rj.ID, rj.Kind, rj.Payload, run)
+	}
 }
 
 // defaultOptions returns the fully-specified base options (the canonical
@@ -216,12 +301,24 @@ func (s *Server) Registry() *telemetry.Registry { return s.reg }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops accepting jobs and waits for the backlog; see
-// jobManager.drain.
-func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
+// jobManager.drain. It first flips /readyz to 503 (so gateway probes
+// route around the node) and waits for async boot to settle — draining
+// concurrently with WAL replay would race re-enqueues against queue
+// close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	select {
+	case <-s.ready:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return s.jobs.drain(ctx)
+}
 
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.metricsHandler())
 	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	mux.HandleFunc("POST /v1/experiments/{id}/run", s.handleRunExperiment)
@@ -327,7 +424,7 @@ func routeLabel(path string) string {
 		return "/v1/store/{key}"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "/debug/pprof"
-	case path == "/v1/simulate", path == "/healthz", path == "/metrics":
+	case path == "/v1/simulate", path == "/healthz", path == "/readyz", path == "/metrics":
 		return path
 	default:
 		return "other"
@@ -339,6 +436,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":        "ok",
 		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
 	}
+	if s.cfg.NodeID != "" {
+		body["node"] = s.cfg.NodeID
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is the routing probe: liveness (/healthz) says the
+// process is up, readiness says it should receive traffic. It answers
+// 503 while boot work (store warm-up, WAL replay) is still running and
+// again once Drain begins, so a gateway ejects the node before its
+// listener disappears.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status := ""
+	if s.draining.Load() {
+		status = "draining"
+	} else {
+		select {
+		case <-s.ready:
+		default:
+			status = "booting"
+		}
+	}
+	if status != "" {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": status})
+		return
+	}
+	body := map[string]any{"status": "ready"}
 	if s.cfg.NodeID != "" {
 		body["node"] = s.cfg.NodeID
 	}

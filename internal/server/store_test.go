@@ -112,6 +112,7 @@ func TestStoreWarmBoot(t *testing.T) {
 		c.Store = st2
 		c.StoreWarm = 16
 	})
+	<-srv2.Ready() // warm-up runs during async boot
 	if warmed, _ := reg2.Value("pac_store_warmed_total"); warmed < 1 {
 		t.Fatalf("pac_store_warmed_total = %v, want >= 1", warmed)
 	}

@@ -136,6 +136,8 @@ func buildMachine(cfg Config, scratch *Scratch, shared bool) (*machine, error) {
 	cfg.TraceSink = nil
 	cfg.Hooks = nil
 	cfg.Scratch = nil
+	cfg.CheckpointEvery = 0
+	cfg.CheckpointSink = nil
 	m := &machine{cfg: cfg}
 	ids := func() uint64 { m.nextID++; return m.nextID }
 

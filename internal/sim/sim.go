@@ -131,6 +131,17 @@ type Config struct {
 	// must not be shared with a concurrently running simulation; nil
 	// gives the runner a private one. Scratch never affects results.
 	Scratch *Scratch
+	// CheckpointEvery, when positive, emits a deterministic resume
+	// checkpoint to CheckpointSink roughly every that many simulated
+	// cycles (at the first step boundary past the cadence mark).
+	// Checkpointing never perturbs the run: results are byte-identical
+	// with it on or off. Requires replayable generators (the built-in
+	// benchmark workloads); incompatible with caller-supplied Generators.
+	CheckpointEvery int64
+	// CheckpointSink receives each emitted checkpoint. The checkpoint is
+	// a deep copy and stays valid after the run continues; nil disables
+	// checkpointing regardless of CheckpointEvery.
+	CheckpointSink func(*Checkpoint)
 }
 
 // DefaultConfig returns the paper's Table 1 machine running one benchmark
@@ -314,6 +325,12 @@ type Runner struct {
 	// allocate one per run.
 	pacStats core.Stats
 
+	// ckptEvery/ckptNext drive checkpoint cadence: every driver loop
+	// emits a checkpoint at the first step boundary with now >= ckptNext.
+	// ckptEvery is zero when checkpointing is off.
+	ckptEvery int64
+	ckptNext  int64
+
 	res Result
 }
 
@@ -328,6 +345,13 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.Generators != nil && len(cfg.Generators) != len(cfg.Procs) {
 		return nil, fmt.Errorf("sim: %d generators for %d processes", len(cfg.Generators), len(cfg.Procs))
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil {
+		if cfg.Generators != nil {
+			return nil, fmt.Errorf("sim: checkpointing requires replayable generators; caller-supplied Generators cannot be resumed")
+		}
+		r.ckptEvery = cfg.CheckpointEvery
+		r.ckptNext = cfg.CheckpointEvery
 	}
 
 	m, ok := r.scratch.takeMachine(&cfg)
@@ -484,6 +508,9 @@ func (r *Runner) runReference(ctx context.Context) error {
 		if r.now >= r.cfg.MaxCycles {
 			return r.errWedged()
 		}
+		if r.ckptEvery > 0 && r.now >= r.ckptNext {
+			r.emitCheckpoint()
+		}
 		r.step()
 	}
 	return nil
@@ -523,6 +550,9 @@ func (r *Runner) runEventsGeneric(ctx context.Context) error {
 		}
 		if r.now >= r.cfg.MaxCycles {
 			return r.errWedged()
+		}
+		if r.ckptEvery > 0 && r.now >= r.ckptNext {
+			r.emitCheckpoint()
 		}
 		next := sched.NextEvent(r.now)
 		if next > r.cfg.MaxCycles {

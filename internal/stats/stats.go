@@ -107,6 +107,17 @@ func (h *Histogram) Bins() []int64 {
 	return out
 }
 
+// Clone returns an independent deep copy of the histogram: mutating
+// either afterwards leaves the other untouched. Value-copying a
+// Histogram shares the bin storage; checkpointing uses Clone instead.
+func (h *Histogram) Clone() Histogram {
+	out := Histogram{n: h.n}
+	if len(h.bins) > 0 {
+		out.bins = append([]int64(nil), h.bins...)
+	}
+	return out
+}
+
 // Mean returns the mean observed value.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {

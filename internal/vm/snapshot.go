@@ -1,0 +1,41 @@
+package vm
+
+import "sort"
+
+// Mapping is one established vpn -> pfn translation.
+type Mapping struct {
+	VPN, PFN uint64
+}
+
+// SpaceState is the serializable mid-run state of an AddressSpace: the
+// established mappings, sorted by VPN so encodings are canonical. The
+// mappings must be serialized — not regenerated — because open-addressed
+// allocation depends on the order pages were first touched, which a
+// resumed run does not replay. The used-frame set is derivable (it is
+// exactly the mapped PFNs) and is rebuilt on restore.
+type SpaceState struct {
+	Mappings []Mapping
+}
+
+// SaveState copies the address space's mutable state.
+func (a *AddressSpace) SaveState() SpaceState {
+	st := SpaceState{Mappings: make([]Mapping, 0, len(a.table))}
+	for vpn, pfn := range a.table {
+		st.Mappings = append(st.Mappings, Mapping{VPN: vpn, PFN: pfn})
+	}
+	sort.Slice(st.Mappings, func(i, j int) bool { return st.Mappings[i].VPN < st.Mappings[j].VPN })
+	return st
+}
+
+// RestoreState overwrites the address space's mappings from a snapshot
+// taken on a space built with the same (proc, seed, poolFrames) — future
+// allocations then probe exactly as the original run would have.
+func (a *AddressSpace) RestoreState(st SpaceState) error {
+	a.table = make(map[uint64]uint64, len(st.Mappings))
+	a.used = make(map[uint64]bool, len(st.Mappings))
+	for _, m := range st.Mappings {
+		a.table[m.VPN] = m.PFN
+		a.used[m.PFN] = true
+	}
+	return nil
+}

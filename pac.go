@@ -27,6 +27,7 @@ import (
 	"github.com/pacsim/pac/internal/sim"
 	"github.com/pacsim/pac/internal/store"
 	"github.com/pacsim/pac/internal/telemetry"
+	"github.com/pacsim/pac/internal/wal"
 	"github.com/pacsim/pac/internal/workload"
 )
 
@@ -337,6 +338,26 @@ type (
 // OpenStore creates or reopens a durable result store, replaying and
 // compacting its index journal.
 func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
+
+// Write-ahead job journal (cmd/pacd -wal): a crash-safe record of every
+// accepted job's lifecycle. Open it before NewServer, hand the log and
+// the recovered jobs to ServerConfig.WAL/Recovered so the daemon replays
+// unfinished work at boot, and Close it after Drain. See internal/wal
+// and DESIGN.md §13.
+type (
+	// WALConfig parameterises OpenWAL.
+	WALConfig = wal.Config
+	// WAL is the append-only job journal; the caller owns its lifecycle
+	// (open before NewServer, Close after Drain).
+	WAL = wal.Log
+	// WALJob is one journaled job recovered at boot.
+	WALJob = wal.Job
+)
+
+// OpenWAL creates or reopens a write-ahead job journal, replaying it and
+// returning the jobs that never reached a terminal record (the crash
+// orphans the server must re-run).
+func OpenWAL(cfg WALConfig) (*WAL, []WALJob, error) { return wal.Open(cfg) }
 
 // Fleet layer (cmd/pacgw): a consistent-hash gateway that shards
 // requests across backend pacd nodes by their canonical session keys,
