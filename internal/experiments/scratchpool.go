@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/pacsim/pac/internal/sim"
+)
+
+// ScratchPool is a shape-aware pool of sim.Scratch arenas. Unlike the
+// sync.Pool it replaced, it can be shared across sessions — parked
+// machines then survive session LRU eviction, which is what keeps a
+// mixed-tenant pacd warm — and Get prefers an arena whose machine cache
+// already holds the caller's shape, so a worker picking up a job lands
+// on buffers (and a parked machine) warm for exactly that
+// configuration.
+//
+// Each Scratch is owned by exactly one running simulation at a time;
+// the pool only hands out idle arenas. Scratches never affect results.
+type ScratchPool struct {
+	mu   sync.Mutex
+	free []*sim.Scratch
+	// max bounds the idle arenas retained; returns beyond it are
+	// dropped to the GC (never silently — the bound is by construction,
+	// sized to the maximum useful concurrency).
+	max int
+	// machCap, when positive, is applied to each new arena's parked-
+	// machine LRU via SetMachineCacheCap.
+	machCap int
+}
+
+// NewScratchPool builds a pool retaining at most max idle arenas
+// (0 means twice GOMAXPROCS — enough for every worker plus hand-off
+// slack) whose machine caches hold up to machineCacheCap parked
+// machines each (0 means sim.DefaultMachineCacheCap).
+func NewScratchPool(max, machineCacheCap int) *ScratchPool {
+	if max <= 0 {
+		max = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &ScratchPool{max: max, machCap: machineCacheCap}
+}
+
+// Get hands out an idle arena, preferring one already warm for the
+// given machine shape (sim.ShapeKey); an empty shape — or no warm
+// match — falls back to the most recently returned arena, and an empty
+// pool builds fresh. The caller owns the arena until Put.
+func (p *ScratchPool) Get(shape string) *sim.Scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if shape != "" {
+		// Most recently returned arenas live at the tail; scan from
+		// there so ties break toward the warmest buffers.
+		for i := len(p.free) - 1; i >= 0; i-- {
+			if p.free[i].HasShape(shape) {
+				sc := p.free[i]
+				p.free = append(p.free[:i], p.free[i+1:]...)
+				return sc
+			}
+		}
+	}
+	if n := len(p.free); n > 0 {
+		sc := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return sc
+	}
+	sc := sim.NewScratch()
+	if p.machCap > 0 {
+		sc.SetMachineCacheCap(p.machCap)
+	}
+	return sc
+}
+
+// Put returns an idle arena to the pool; arenas beyond the retention
+// bound are dropped. nil is ignored.
+func (p *ScratchPool) Put(sc *sim.Scratch) {
+	if sc == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= p.max {
+		return
+	}
+	p.free = append(p.free, sc)
+}
+
+// Idle reports how many arenas are currently pooled.
+func (p *ScratchPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

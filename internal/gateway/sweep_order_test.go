@@ -1,0 +1,95 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSweepDispatchOrderGroupsByShard drives the ordering helper with a
+// real two-node ring and asserts the shard-contiguity contract: once the
+// feed moves off a shard it never returns to it, and cells sharing a key
+// inside one shard are adjacent.
+func TestSweepDispatchOrderGroupsByShard(t *testing.T) {
+	ring := NewRing(64, "node-a", "node-b")
+	owner := func(key string) string {
+		node, ok := ring.Owner(key)
+		if !ok {
+			t.Fatalf("ring has no owner for %q", key)
+		}
+		return node
+	}
+
+	// Interleave keys so the request order alternates shards and repeats
+	// keys non-adjacently — the worst case the ordering must untangle.
+	keys := []string{
+		"sweep-key-0", "sweep-key-1", "sweep-key-2", "sweep-key-3",
+		"sweep-key-0", "sweep-key-2", "sweep-key-1", "sweep-key-3",
+		"sweep-key-4", "sweep-key-0",
+	}
+	pairs := make([]sweepPair, len(keys))
+	for i, k := range keys {
+		pairs[i] = sweepPair{bench: fmt.Sprintf("b%d", i), key: k}
+	}
+
+	order := sweepDispatchOrder(pairs, owner)
+	if len(order) != len(pairs) {
+		t.Fatalf("order has %d entries, want %d", len(order), len(pairs))
+	}
+	seenIdx := make(map[int]bool)
+	for _, i := range order {
+		if i < 0 || i >= len(pairs) || seenIdx[i] {
+			t.Fatalf("order %v is not a permutation of indices", order)
+		}
+		seenIdx[i] = true
+	}
+
+	// Shard contiguity: owners appear in one contiguous run each.
+	doneShards := make(map[string]bool)
+	prevOwner := ""
+	for _, i := range order {
+		o := owner(pairs[i].key)
+		if o != prevOwner {
+			if doneShards[o] {
+				t.Fatalf("shard %s appears in two runs: order %v", o, order)
+			}
+			doneShards[prevOwner] = true
+			prevOwner = o
+		}
+	}
+
+	// Key contiguity within a shard: equal keys are adjacent.
+	doneKeys := make(map[string]bool)
+	prevKey := ""
+	for _, i := range order {
+		k := pairs[i].key
+		if k != prevKey {
+			if doneKeys[k] {
+				t.Fatalf("key %s appears in two runs: order %v", k, order)
+			}
+			doneKeys[prevKey] = true
+			prevKey = k
+		}
+	}
+
+	// Ties (same shard, same key) keep original request order.
+	lastByKey := make(map[string]int)
+	for _, i := range order {
+		k := pairs[i].key
+		if prev, ok := lastByKey[k]; ok && i < prev {
+			t.Fatalf("same-key cells reordered: index %d after %d in order %v",
+				i, prev, order)
+		}
+		lastByKey[k] = i
+	}
+}
+
+// TestSweepDispatchOrderEmpty keeps the degenerate cases total.
+func TestSweepDispatchOrderEmpty(t *testing.T) {
+	if got := sweepDispatchOrder(nil, func(string) string { return "" }); len(got) != 0 {
+		t.Fatalf("empty pairs produced order %v", got)
+	}
+	one := []sweepPair{{key: "k"}}
+	if got := sweepDispatchOrder(one, func(string) string { return "n" }); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single pair produced order %v", got)
+	}
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pacsim/pac/internal/telemetry"
+)
+
+// affinityManager builds a one-worker manager with batching enabled, so
+// dispatch order is fully observable.
+func affinityManager(t *testing.T, window int) *jobManager {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	m := newJobManager(1, 16, 0, 100, 0, time.Millisecond, window, "", nil,
+		telemetry.InstrumentedHooks(reg), reg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := m.drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return m
+}
+
+// TestAffinityBatchingGroupsShapes is the dispatcher contract: with an
+// interleaved backlog A,B,A,B and one worker, batching serves A,A,B,B —
+// same-shape jobs run consecutively so the worker's machine cache stays
+// warm — and pac_jobs_affinity_batched_total counts the grouped
+// dispatches.
+func TestAffinityBatchingGroupsShapes(t *testing.T) {
+	m := affinityManager(t, 8)
+
+	// Gate: hold the single worker so the backlog forms behind it.
+	gateRelease := make(chan struct{})
+	gateRunning := make(chan struct{})
+	gate, err := m.submit("gate", nil, jobMeta{}, func(ctx context.Context) (any, error) {
+		close(gateRunning)
+		<-gateRelease
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("submit gate: %v", err)
+	}
+	<-gateRunning
+
+	var mu sync.Mutex
+	var order []string
+	jobs := make([]*Job, 0, 4)
+	for _, shape := range []string{"A", "B", "A", "B"} {
+		shape := shape
+		j, err := m.submit("simulate", nil, jobMeta{affinity: shape, bench: "GS", mode: "pac"},
+			func(ctx context.Context) (any, error) {
+				mu.Lock()
+				order = append(order, shape)
+				mu.Unlock()
+				return nil, nil
+			})
+		if err != nil {
+			t.Fatalf("submit %s: %v", shape, err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	close(gateRelease)
+	<-gate.Done()
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatal("job did not finish")
+		}
+	}
+
+	mu.Lock()
+	got := strings.Join(order, "")
+	mu.Unlock()
+	// FIFO head A first; then the batcher prefers the matching A over
+	// the interleaved B; then the Bs in arrival order.
+	if got != "AABB" {
+		t.Fatalf("dispatch order = %q, want AABB", got)
+	}
+	if v, ok := m.reg.Value("pac_jobs_affinity_batched_total"); !ok || v < 2 {
+		t.Fatalf("pac_jobs_affinity_batched_total = %v (present=%v), want >= 2", v, ok)
+	}
+}
+
+// TestAffinityBatchingStarvationBound proves the FIFO fallback: a job
+// whose shape never matches the worker's streak is still served once it
+// has been passed over affinityWindow times — batching reorders within
+// the window, it never starves the head.
+func TestAffinityBatchingStarvationBound(t *testing.T) {
+	const window = 2
+	m := affinityManager(t, window)
+
+	gateRelease := make(chan struct{})
+	gateRunning := make(chan struct{})
+	// The gate carries shape A so the worker's streak starts at A.
+	gate, err := m.submit("gate", nil, jobMeta{affinity: "A"}, func(ctx context.Context) (any, error) {
+		close(gateRunning)
+		<-gateRelease
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("submit gate: %v", err)
+	}
+	<-gateRunning
+
+	var mu sync.Mutex
+	var order []string
+	note := func(shape string) func(ctx context.Context) (any, error) {
+		return func(ctx context.Context) (any, error) {
+			mu.Lock()
+			order = append(order, shape)
+			mu.Unlock()
+			return nil, nil
+		}
+	}
+	// Head is a lone B behind a stream of As. The B may be passed over
+	// at most `window` times, so it must run before the last As despite
+	// never matching the streak.
+	shapes := []string{"B", "A", "A", "A", "A", "A"}
+	jobs := make([]*Job, 0, len(shapes))
+	for _, s := range shapes {
+		j, err := m.submit("simulate", nil, jobMeta{affinity: s}, note(s))
+		if err != nil {
+			t.Fatalf("submit %s: %v", s, err)
+		}
+		jobs = append(jobs, j)
+	}
+	close(gateRelease)
+	<-gate.Done()
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatal("job did not finish")
+		}
+	}
+
+	mu.Lock()
+	got := strings.Join(order, "")
+	mu.Unlock()
+	pos := strings.Index(got, "B")
+	if pos < 0 || pos > window {
+		t.Fatalf("dispatch order = %q: lone B served at position %d, want <= %d (starvation bound)",
+			got, pos, window)
+	}
+}
+
+// TestAffinityCancelWhilePending proves cancellation semantics survive
+// the reorder buffer: a queued job cancelled while parked there is never
+// executed, finishes StatusCancelled, and the jobs behind it still run.
+func TestAffinityCancelWhilePending(t *testing.T) {
+	m := affinityManager(t, 8)
+
+	gateRelease := make(chan struct{})
+	gateRunning := make(chan struct{})
+	if _, err := m.submit("gate", nil, jobMeta{}, func(ctx context.Context) (any, error) {
+		close(gateRunning)
+		<-gateRelease
+		return nil, nil
+	}); err != nil {
+		t.Fatalf("submit gate: %v", err)
+	}
+	<-gateRunning
+
+	ran := make(chan string, 2)
+	victim, err := m.submit("simulate", nil, jobMeta{affinity: "A"},
+		func(ctx context.Context) (any, error) { ran <- "victim"; return nil, nil })
+	if err != nil {
+		t.Fatalf("submit victim: %v", err)
+	}
+	survivor, err := m.submit("simulate", nil, jobMeta{affinity: "B"},
+		func(ctx context.Context) (any, error) { ran <- "survivor"; return nil, nil })
+	if err != nil {
+		t.Fatalf("submit survivor: %v", err)
+	}
+
+	m.cancelJob(victim)
+	if got := victim.Status(); got != StatusCancelled {
+		t.Fatalf("victim status = %s, want %s", got, StatusCancelled)
+	}
+
+	close(gateRelease)
+	select {
+	case <-survivor.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivor did not finish")
+	}
+	if got := survivor.Status(); got != StatusDone {
+		t.Fatalf("survivor status = %s, want %s", got, StatusDone)
+	}
+	close(ran)
+	for who := range ran {
+		if who == "victim" {
+			t.Fatal("cancelled job was executed")
+		}
+	}
+}

@@ -43,7 +43,12 @@ type sessionPool struct {
 	// policy each new session is created with (keyed by the session's
 	// canonical options hash); nil keeps sessions checkpoint-free.
 	ckptPolicy func(optsKey string) *experiments.CheckpointPolicy
-	entries    map[string]*poolEntry
+	// scratches is the daemon-wide shape-aware arena pool every session
+	// shares: parked machines survive session LRU eviction, so a hot
+	// shape stays warm even as its session churns in and out of the
+	// pool.
+	scratches *experiments.ScratchPool
+	entries   map[string]*poolEntry
 }
 
 type poolEntry struct {
@@ -52,12 +57,14 @@ type poolEntry struct {
 }
 
 func newSessionPool(cap int, hooks *telemetry.Hooks, progress func(string),
-	ckptPolicy func(optsKey string) *experiments.CheckpointPolicy) *sessionPool {
+	ckptPolicy func(optsKey string) *experiments.CheckpointPolicy,
+	scratches *experiments.ScratchPool) *sessionPool {
 	return &sessionPool{
 		cap:        cap,
 		hooks:      hooks,
 		progress:   progress,
 		ckptPolicy: ckptPolicy,
+		scratches:  scratches,
 		entries:    make(map[string]*poolEntry),
 	}
 }
@@ -78,6 +85,7 @@ func (p *sessionPool) session(opts experiments.Options) (*experiments.Session, s
 	sess := experiments.NewSession(opts)
 	sess.Hooks = p.hooks
 	sess.Progress = p.progress
+	sess.Scratches = p.scratches
 	if p.ckptPolicy != nil {
 		sess.Checkpoints = p.ckptPolicy(key)
 	}
@@ -270,12 +278,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	run, payload, err := s.buildSimulateRun(req, peerList(s.cfg.Peers, r.Header.Get(PeersHeader)))
+	run, payload, meta, err := s.buildSimulateRun(req, peerList(s.cfg.Peers, r.Header.Get(PeersHeader)))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	job, err := s.jobs.submit("simulate", payload, run)
+	job, err := s.jobs.submit("simulate", payload, meta, run)
 	if !s.submitted(w, job, err) {
 		return
 	}
@@ -285,19 +293,24 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // buildSimulateRun resolves a simulate request into its job closure plus
 // the canonical WAL payload (the request's JSON encoding — resolution
 // against the base options is deterministic, so replaying the payload
-// after a crash reproduces the original job exactly). The HTTP handler
-// and the boot replay share this one path.
-func (s *Server) buildSimulateRun(req SimulateRequest, peers []string) (func(ctx context.Context) (any, error), []byte, error) {
+// after a crash reproduces the original job exactly) and the job's
+// scheduling meta (machine-shape affinity key, bench/mode pprof
+// labels). The HTTP handler and the boot replay share this one path.
+func (s *Server) buildSimulateRun(req SimulateRequest, peers []string) (func(ctx context.Context) (any, error), []byte, jobMeta, error) {
 	opts, bench, mode, err := s.validate(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, jobMeta{}, err
 	}
 	payload, err := json.Marshal(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, jobMeta{}, err
 	}
 	sess, optsKey := s.pool.session(opts)
 	hash := configHash(optsKey, bench, mode)
+	// Affinity is the machine-shape key, not the SimKey: two requests
+	// with different options can still share a shape, and fault-plan
+	// requests (shape "") opt out — they bypass the machine cache anyway.
+	meta := jobMeta{affinity: sess.Shape(bench, mode), bench: bench, mode: mode.String()}
 	run := func(ctx context.Context) (any, error) {
 		// Resolve the cache source cheapest-first: session memo, local
 		// durable store, fleet peers, then a fresh simulation. Disk and
@@ -333,7 +346,7 @@ func (s *Server) buildSimulateRun(req SimulateRequest, peers []string) (func(ctx
 			Result:     res,
 		}, nil
 	}
-	return run, payload, nil
+	return run, payload, meta, nil
 }
 
 // respondSimulate is respondJob plus the X-Pac-Cache header: when the
@@ -397,7 +410,8 @@ func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	job, err := s.jobs.submit("experiment", payload, run)
+	// Experiments span many shapes, so they carry no affinity key.
+	job, err := s.jobs.submit("experiment", payload, jobMeta{}, run)
 	if !s.submitted(w, job, err) {
 		return
 	}

@@ -52,7 +52,7 @@ func TestWatchdogKillThenRetrySucceeds(t *testing.T) {
 		c.RetryBaseDelay = time.Millisecond
 	})
 	var attempts atomic.Int32
-	job, err := srv.jobs.submit("chaos", nil, func(ctx context.Context) (any, error) {
+	job, err := srv.jobs.submit("chaos", nil, jobMeta{}, func(ctx context.Context) (any, error) {
 		if attempts.Add(1) == 1 {
 			<-ctx.Done() // wedge until the watchdog fires
 			return nil, ctx.Err()
@@ -101,7 +101,7 @@ func TestPanicRecoveredAndRetried(t *testing.T) {
 		c.RetryBaseDelay = time.Millisecond
 	})
 	var attempts atomic.Int32
-	job, err := srv.jobs.submit("chaos", nil, func(ctx context.Context) (any, error) {
+	job, err := srv.jobs.submit("chaos", nil, jobMeta{}, func(ctx context.Context) (any, error) {
 		if attempts.Add(1) == 1 {
 			panic("injected panic")
 		}
@@ -119,7 +119,7 @@ func TestPanicRecoveredAndRetried(t *testing.T) {
 		t.Error("pac_job_panics_total not exposed after a recovered panic")
 	}
 	// The pool must still execute fresh jobs after the panic.
-	ok, err := srv.jobs.submit("chaos", nil, func(ctx context.Context) (any, error) { return "fine", nil })
+	ok, err := srv.jobs.submit("chaos", nil, jobMeta{}, func(ctx context.Context) (any, error) { return "fine", nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestRetriesExhaustedFails(t *testing.T) {
 	})
 	boom := errors.New("boom")
 	var attempts atomic.Int32
-	job, err := srv.jobs.submit("chaos", nil, func(ctx context.Context) (any, error) {
+	job, err := srv.jobs.submit("chaos", nil, jobMeta{}, func(ctx context.Context) (any, error) {
 		attempts.Add(1)
 		return nil, boom
 	})
@@ -167,7 +167,7 @@ func TestClientCancelNeverRetried(t *testing.T) {
 	})
 	started := make(chan struct{})
 	var attempts atomic.Int32
-	job, err := srv.jobs.submit("chaos", nil, func(ctx context.Context) (any, error) {
+	job, err := srv.jobs.submit("chaos", nil, jobMeta{}, func(ctx context.Context) (any, error) {
 		if attempts.Add(1) == 1 {
 			close(started)
 		}
@@ -243,7 +243,7 @@ func TestOversizedBodyRejected(t *testing.T) {
 func TestSSEKeepAlive(t *testing.T) {
 	srv := newTestServer(t, func(c *Config) { c.SSEKeepAlive = 20 * time.Millisecond })
 	release := make(chan struct{})
-	job, err := srv.jobs.submit("chaos", nil, func(ctx context.Context) (any, error) {
+	job, err := srv.jobs.submit("chaos", nil, jobMeta{}, func(ctx context.Context) (any, error) {
 		select {
 		case <-release:
 			return "done", nil

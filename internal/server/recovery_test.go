@@ -156,7 +156,7 @@ func TestOrphanedJobListing(t *testing.T) {
 	h := srv.Handler()
 	block := make(chan struct{})
 	payload := []byte(`{"benchmark":"STREAM","mode":"pac"}`)
-	j := srv.jobs.resubmit("j000042", "simulate", payload, func(ctx context.Context) (any, error) {
+	j := srv.jobs.resubmit("j000042", "simulate", payload, jobMeta{}, func(ctx context.Context) (any, error) {
 		select {
 		case <-block:
 			return map[string]string{"ok": "yes"}, nil
@@ -280,7 +280,7 @@ func TestSubscribeResume(t *testing.T) {
 func TestSSEResumeOverHTTP(t *testing.T) {
 	srv := newTestServer(t, nil)
 	block := make(chan struct{})
-	j, err := srv.jobs.submit("chaos", nil, func(ctx context.Context) (any, error) {
+	j, err := srv.jobs.submit("chaos", nil, jobMeta{}, func(ctx context.Context) (any, error) {
 		<-block
 		return map[string]string{"ok": "yes"}, nil
 	})

@@ -136,6 +136,18 @@ type Config struct {
 	// CheckpointEvery is the checkpoint cadence in simulated cycles
 	// (default 2,000,000 when CheckpointDir is set).
 	CheckpointEvery int64
+	// AffinityWindow bounds the job dispatcher's reorder buffer: ready
+	// jobs are grouped by machine-shape affinity within this many queue
+	// positions so same-shape jobs run consecutively on a worker (warm
+	// machine cache), with strict FIFO beyond the window and for jobs a
+	// match has skipped window times. 0 defaults to 8; negative disables
+	// batching (plain FIFO).
+	AffinityWindow int
+	// MachineCache caps parked machines per sim Scratch arena
+	// (sim.SetMachineCacheCap); 0 keeps sim.DefaultMachineCacheCap.
+	// Each parked machine holds its component graph plus up to 16 MiB of
+	// replay trace, so the cap bounds warm-state memory.
+	MachineCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +192,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointDir != "" && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 2_000_000
+	}
+	if c.AffinityWindow == 0 {
+		c.AffinityWindow = 8
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
@@ -229,8 +244,15 @@ func New(cfg Config) *Server {
 		s.ckpts = newCheckpointStore(cfg.CheckpointDir, s.reg)
 	}
 	s.jobs = newJobManager(cfg.Concurrency, cfg.QueueDepth, cfg.JobTimeout,
-		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, cfg.NodeID, cfg.WAL, s.hooks, s.reg)
-	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress, s.checkpointPolicy)
+		cfg.RetainJobs, cfg.MaxRetries, cfg.RetryBaseDelay, cfg.AffinityWindow,
+		cfg.NodeID, cfg.WAL, s.hooks, s.reg)
+	// One shape-aware arena pool for the whole daemon: sessions come and
+	// go under the MaxSessions LRU, but their parked machines live in
+	// these shared Scratches, so an evicted-and-recreated session still
+	// finds its shape warm. Sized to the worker pool plus hand-off slack.
+	scratches := experiments.NewScratchPool(2*cfg.Concurrency, cfg.MachineCache)
+	s.pool = newSessionPool(cfg.MaxSessions, s.hooks, s.jobs.broadcastProgress,
+		s.checkpointPolicy, scratches)
 	// Materialise the default session eagerly so the daemon's base
 	// options are always resident and experiment jobs share one memo.
 	s.pool.session(s.defaultOptions())
@@ -259,12 +281,13 @@ func (s *Server) Ready() <-chan struct{} { return s.ready }
 func (s *Server) replayWAL(recovered []wal.Job) {
 	for _, rj := range recovered {
 		var run func(ctx context.Context) (any, error)
+		var meta jobMeta
 		var err error
 		switch rj.Kind {
 		case "simulate":
 			var req SimulateRequest
 			if err = json.Unmarshal(rj.Payload, &req); err == nil {
-				run, _, err = s.buildSimulateRun(req, s.cfg.Peers)
+				run, _, meta, err = s.buildSimulateRun(req, s.cfg.Peers)
 			}
 		case "experiment":
 			var req experimentRequest
@@ -282,7 +305,7 @@ func (s *Server) replayWAL(recovered []wal.Job) {
 				"Journaled jobs that no longer resolved at boot replay.", "kind", rj.Kind).Inc()
 			continue
 		}
-		s.jobs.resubmit(rj.ID, rj.Kind, rj.Payload, run)
+		s.jobs.resubmit(rj.ID, rj.Kind, rj.Payload, meta, run)
 	}
 }
 

@@ -1,0 +1,221 @@
+package sim
+
+// The alternating-shape determinism suite: the shape-keyed machine
+// cache must be invisible in results no matter how configurations
+// interleave — round-robin over N shapes, LRU thrash with more shapes
+// than capacity, and clean/faulted interleaving. Each scenario compares
+// warm runs against cold baselines (and, for the round-robin, against
+// the reference stepper) and pins the cache's hit/miss/eviction
+// accounting so a silently disabled cache cannot pass.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/pacsim/pac/internal/coalesce"
+)
+
+// shapeSchedule builds N distinct small configurations: benchmarks
+// alternate while the trace length steps, so consecutive schedule slots
+// never share a machine shape.
+func shapeSchedule(n int) []Config {
+	benches := []string{"GS", "STREAM"}
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfg := smallConfig(benches[i%len(benches)], coalesce.ModePAC)
+		cfg.AccessesPerCore = 800 + 200*i
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// TestShapeKeyProperties pins the key the affinity layers route on:
+// deterministic for equal configs, distinct across every field that
+// forces a machine rebuild, and empty exactly when a run is uncacheable
+// (faults, caller-supplied generators, invalid config).
+func TestShapeKeyProperties(t *testing.T) {
+	base := smallConfig("GS", coalesce.ModePAC)
+	key := ShapeKey(base)
+	if key == "" {
+		t.Fatal("valid config produced an empty shape key")
+	}
+	if again := ShapeKey(base); again != key {
+		t.Fatalf("shape key not deterministic: %q then %q", key, again)
+	}
+
+	seen := map[string]string{key: "base"}
+	variants := map[string]Config{}
+	v := base
+	v.AccessesPerCore += 100
+	variants["accesses"] = v
+	v = base
+	v.Seed++
+	variants["seed"] = v
+	v = base
+	v.MSHRs++
+	variants["mshrs"] = v
+	variants["mode"] = smallConfig("GS", coalesce.ModeNone)
+	variants["bench"] = smallConfig("STREAM", coalesce.ModePAC)
+	for name, cfg := range variants {
+		k := ShapeKey(cfg)
+		if k == "" {
+			t.Fatalf("%s variant produced an empty shape key", name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("%s variant collides with %s: %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+
+	faulted := base
+	faulted.Faults = chaosPlan()
+	if k := ShapeKey(faulted); k != "" {
+		t.Fatalf("faulted config has shape key %q, want empty (cache bypass)", k)
+	}
+	if k := ShapeKey(Config{}); k != "" {
+		t.Fatalf("invalid config has shape key %q, want empty", k)
+	}
+}
+
+// TestWarmShapeRoundRobin is the headline scenario: four shapes issued
+// round-robin through one Scratch for several rounds. Every warm result
+// must be byte-identical to its cold baseline, the cold baseline itself
+// must match the reference stepper, and the cache accounting must show
+// the first round missing and every later round hitting.
+func TestWarmShapeRoundRobin(t *testing.T) {
+	const shapes, rounds = 4, 3
+	cfgs := shapeSchedule(shapes)
+	cold := make([]*Result, shapes)
+	for i, cfg := range cfgs {
+		event, ref := runBoth(t, cfg)
+		assertEquivalent(t, fmt.Sprintf("shape %d", i), event, ref)
+		cold[i] = event
+	}
+
+	sc := NewScratch()
+	sc.SetMachineCacheCap(shapes)
+	for round := 0; round < rounds; round++ {
+		for i, cfg := range cfgs {
+			cfg.Scratch = sc
+			warm := run(t, cfg)
+			if !reflect.DeepEqual(warm, cold[i]) {
+				t.Fatalf("round %d shape %d: warm result diverges from cold\nwarm: %+v\ncold: %+v",
+					round, i, warm, cold[i])
+			}
+		}
+	}
+
+	hits, misses, evictions := sc.MachineCacheStats()
+	if want := uint64(shapes * (rounds - 1)); hits != want {
+		t.Errorf("hits = %d, want %d (every post-first-round run warm)", hits, want)
+	}
+	if misses != shapes {
+		t.Errorf("misses = %d, want %d (first round only)", misses, shapes)
+	}
+	if evictions != 0 {
+		t.Errorf("evictions = %d, want 0 (cap holds all shapes)", evictions)
+	}
+	if got := sc.MachineCacheLen(); got != shapes {
+		t.Errorf("parked machines = %d, want %d", got, shapes)
+	}
+	for i, cfg := range cfgs {
+		if key := ShapeKey(cfg); !sc.HasShape(key) {
+			t.Errorf("shape %d (%s) not reported by HasShape", i, key)
+		}
+	}
+}
+
+// TestWarmShapeEvictionRebuild drives more shapes than the cache holds:
+// a three-shape round-robin over a two-entry cache thrashes the LRU on
+// every run, so machines are continually evicted and rebuilt — and the
+// results must not care. A repeated shape at the end proves a rebuilt
+// machine parks and hits again after its eviction.
+func TestWarmShapeEvictionRebuild(t *testing.T) {
+	cfgs := shapeSchedule(3)
+	cold := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		cold[i] = run(t, cfg)
+	}
+
+	sc := NewScratch()
+	sc.SetMachineCacheCap(2)
+	for round := 0; round < 3; round++ {
+		for i, cfg := range cfgs {
+			cfg.Scratch = sc
+			if warm := run(t, cfg); !reflect.DeepEqual(warm, cold[i]) {
+				t.Fatalf("round %d shape %d: warm result diverges from cold after eviction churn",
+					round, i)
+			}
+		}
+	}
+	hits, misses, evictions := sc.MachineCacheStats()
+	if evictions == 0 {
+		t.Error("evictions = 0; the two-entry cache never evicted across a three-shape thrash")
+	}
+	if hits != 0 {
+		t.Errorf("hits = %d, want 0 (round-robin of 3 over cap 2 always misses)", hits)
+	}
+	if misses != 9 {
+		t.Errorf("misses = %d, want 9", misses)
+	}
+
+	// Back-to-back repeat of one shape: the rebuild parked it, so the
+	// second run must be a hit and still byte-identical.
+	cfg := cfgs[0]
+	cfg.Scratch = sc
+	if warm := run(t, cfg); !reflect.DeepEqual(warm, cold[0]) {
+		t.Fatal("post-thrash rebuild run diverges from cold")
+	}
+	if warm := run(t, cfg); !reflect.DeepEqual(warm, cold[0]) {
+		t.Fatal("post-rebuild warm hit diverges from cold")
+	}
+	if h, _, _ := sc.MachineCacheStats(); h != hits+1 {
+		t.Errorf("repeat run was not a cache hit (hits %d -> %d)", hits, h)
+	}
+}
+
+// TestWarmShapeFaultedBypassStats interleaves clean and faulted runs of
+// the same benchmark and pins the bypass accounting: a faulted run never
+// checks a machine out (no hit), never parks one (population unchanged),
+// and the clean stream keeps hitting across it.
+func TestWarmShapeFaultedBypassStats(t *testing.T) {
+	clean := smallConfig("CG", coalesce.ModePAC)
+	clean.AccessesPerCore = 1_000
+	faulty := clean
+	faulty.Faults = chaosPlan()
+	coldClean := run(t, clean)
+	coldFaulty := run(t, faulty)
+
+	sc := NewScratch()
+	cfg := clean
+	cfg.Scratch = sc
+	if got := run(t, cfg); !reflect.DeepEqual(got, coldClean) {
+		t.Fatal("first warm clean run diverges from cold")
+	}
+	if got := sc.MachineCacheLen(); got != 1 {
+		t.Fatalf("parked machines after clean run = %d, want 1", got)
+	}
+
+	cfg = faulty
+	cfg.Scratch = sc
+	if got := run(t, cfg); !reflect.DeepEqual(got, coldFaulty) {
+		t.Fatal("warm faulted run diverges from cold")
+	}
+	hits, _, _ := sc.MachineCacheStats()
+	if hits != 0 {
+		t.Fatalf("faulted run hit the machine cache (hits = %d)", hits)
+	}
+	if got := sc.MachineCacheLen(); got != 1 {
+		t.Fatalf("faulted run changed the parked population to %d, want 1", got)
+	}
+
+	cfg = clean
+	cfg.Scratch = sc
+	if got := run(t, cfg); !reflect.DeepEqual(got, coldClean) {
+		t.Fatal("clean run after faulted interleave diverges from cold")
+	}
+	if h, _, _ := sc.MachineCacheStats(); h != 1 {
+		t.Fatalf("clean run after faulted interleave was not a hit (hits = %d)", h)
+	}
+}

@@ -1,0 +1,91 @@
+package pac
+
+// BenchmarkWarmMixed measures what the shape-keyed machine cache buys on
+// the worst schedule for its single-entry predecessor: K distinct
+// configurations (shapes) issued strictly round-robin, so consecutive
+// runs never repeat a shape. The "single" sub-benchmark pins the cache
+// to one entry — every run rebuilds its machine from the arena, exactly
+// the old behaviour — while "lru" holds all K shapes parked, so every
+// run checks out a warm machine. scripts/bench_warm.sh runs both,
+// records the ratio in BENCH_warm.json, and gates it at 1.30×.
+//
+// PAC_WARM_SHAPES overrides the shape count and PAC_WARM_MIX the
+// benchmark cycle (comma-separated), so the script's -shapes/-mix flags
+// reach the measurement without a recompile.
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/pacsim/pac/internal/sim"
+)
+
+// warmMixedConfigs builds the K-shape round-robin schedule: benchmarks
+// cycle through the mix while the trace length steps per index, so every
+// configuration is a distinct machine shape even when benchmarks repeat.
+func warmMixedConfigs(tb testing.TB) []SimConfig {
+	shapes := 4
+	if v := os.Getenv("PAC_WARM_SHAPES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			tb.Fatalf("PAC_WARM_SHAPES=%q: want an integer >= 2", v)
+		}
+		shapes = n
+	}
+	mix := []string{"GS", "STREAM"}
+	if v := os.Getenv("PAC_WARM_MIX"); v != "" {
+		mix = mix[:0]
+		for _, m := range strings.Split(v, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				mix = append(mix, m)
+			}
+		}
+		if len(mix) == 0 {
+			tb.Fatalf("PAC_WARM_MIX=%q: no benchmarks", v)
+		}
+	}
+	cfgs := make([]SimConfig, shapes)
+	for i := range cfgs {
+		bench := mix[i%len(mix)]
+		cfg := DefaultSimConfig(bench, ModePAC)
+		cfg.Procs = []ProcSpec{{Benchmark: bench, Cores: 2}}
+		cfg.Scale = 0.02
+		cfg.AccessesPerCore = 1_000 + 250*i
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+func BenchmarkWarmMixed(b *testing.B) {
+	cfgs := warmMixedConfigs(b)
+	run := func(b *testing.B, machCap int) {
+		sc := sim.NewScratch()
+		sc.SetMachineCacheCap(machCap)
+		local := make([]SimConfig, len(cfgs))
+		copy(local, cfgs)
+		for i := range local {
+			local[i].Scratch = sc
+			// Warm pass: grows the arena and parks each shape (the LRU
+			// keeps all of them, the single entry only the last).
+			if _, err := RunBenchmark(local[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunBenchmark(local[i%len(local)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		hits, misses, _ := sc.MachineCacheStats()
+		if hits+misses > 0 {
+			b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit_%")
+		}
+	}
+	b.Run("single", func(b *testing.B) { run(b, 1) })
+	b.Run("lru", func(b *testing.B) { run(b, len(cfgs)) })
+}
